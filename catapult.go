@@ -1,0 +1,259 @@
+// Package catapult is the public facade of this reproduction of
+// "CATAPULT: Data-driven Selection of Canned Patterns for Efficient Visual
+// Graph Query Formulation" (Huang, Chua, Bhowmick, Choi, Zhou — SIGMOD
+// 2019). Given a database of small/medium labeled graphs and a pattern
+// budget, it automatically selects a set of canned patterns maximizing
+// subgraph and label coverage and diversity while minimizing cognitive
+// load.
+//
+// The end-to-end pipeline (Algorithm 1):
+//
+//  1. mine frequent-subtree features — on an eager sample at a lowered
+//     support threshold when sampling is enabled (Sec 4.3) — and refine
+//     them by facility-location selection,
+//  2. cluster every graph of the database: k-means over the subtree
+//     feature vectors, then MCCS-based fine splitting of oversize
+//     clusters (Sec 4.1), with lazy stratified sampling of large clusters
+//     between the phases when sampling is enabled,
+//  3. summarize each cluster into a closure-based cluster summary graph
+//     (Sec 4.2),
+//  4. greedily select canned patterns from the weighted CSGs with random
+//     walks and the coverage × diversity / cognitive-load score (Sec 5).
+//
+// Minimal use:
+//
+//	db := ... // *graph.DB
+//	res, err := catapult.Select(db, catapult.Config{
+//	    Budget: core.Budget{EtaMin: 3, EtaMax: 12, Gamma: 30},
+//	})
+package catapult
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/csg"
+	"repro/internal/graph"
+	"repro/internal/sampling"
+	"repro/internal/treemine"
+)
+
+// SamplingConfig enables the two-level sampling of Sec 4.3.
+type SamplingConfig struct {
+	// Eager sampling: error bound ε and failure probability ρ determine
+	// the sample size via Toivonen's bound. The paper uses ε=0.02, ρ=0.01.
+	Epsilon float64
+	Rho     float64
+	// Lazy sampling parameters (Cochran): Z abscissa, proportion p,
+	// precision e. The paper uses Z=1.65, p=0.5, e=0.03.
+	Z float64
+	P float64
+	E float64
+}
+
+// DefaultSampling returns the paper's sampling parameters.
+func DefaultSampling() *SamplingConfig {
+	return &SamplingConfig{Epsilon: 0.02, Rho: 0.01, Z: sampling.Z95, P: 0.5, E: 0.03}
+}
+
+// Config assembles the full pipeline configuration.
+type Config struct {
+	// Budget is the pattern budget b = (ηmin, ηmax, γ).
+	Budget core.Budget
+	// Clustering configures small graph clustering; zero value uses the
+	// paper's defaults (hybrid MCCS, N=20).
+	Clustering cluster.Config
+	// Selection tunes the pattern selector.
+	Selection core.Options
+	// Sampling, when non-nil, enables eager + lazy sampling.
+	Sampling *SamplingConfig
+	// Seed drives all randomized stages unless overridden in the
+	// sub-configurations.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.Budget.Gamma == 0 {
+		c.Budget = core.Budget{EtaMin: 3, EtaMax: 12, Gamma: 30}
+	}
+	if c.Clustering.Strategy == cluster.CoarseOnly && c.Clustering.N == 0 {
+		// Zero value: adopt the paper's recommended hybrid strategy.
+		c.Clustering.Strategy = cluster.HybridMCCS
+	}
+	if c.Clustering.Seed == 0 {
+		c.Clustering.Seed = c.Seed
+	}
+	if c.Selection.Seed == 0 {
+		c.Selection.Seed = c.Seed
+	}
+}
+
+// Result is the pipeline output.
+type Result struct {
+	// Patterns are the selected canned patterns with score breakdowns.
+	Patterns []*core.Pattern
+	// Clusters holds the member indices (into the working database) of
+	// each cluster.
+	Clusters [][]int
+	// CSGs are the cluster summary graphs.
+	CSGs []*csg.CSG
+	// EffectiveSizes are the per-cluster effective sizes used for cluster
+	// weights: actual member counts, or inflated counts when lazy sampling
+	// shrank the clusters (Sec 4.3).
+	EffectiveSizes []float64
+	// WorkingDB is the database the selector actually ran on (the eager
+	// sample when sampling is enabled, otherwise the input database).
+	WorkingDB *graph.DB
+	// ClusteringTime and PatternTime are the phase durations (the paper's
+	// "clustering time" and PGT measures).
+	ClusteringTime time.Duration
+	PatternTime    time.Duration
+	// Exhausted is true when fewer than γ patterns could be selected.
+	Exhausted bool
+}
+
+// PatternGraphs returns the bare selected pattern graphs.
+func (r *Result) PatternGraphs() []*graph.Graph {
+	out := make([]*graph.Graph, len(r.Patterns))
+	for i, p := range r.Patterns {
+		out[i] = p.Graph
+	}
+	return out
+}
+
+// Select runs the full CATAPULT pipeline on db.
+func Select(db *graph.DB, cfg Config) (*Result, error) {
+	cfg.defaults()
+	if db.Len() == 0 {
+		return nil, fmt.Errorf("catapult: empty database")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	clusterStart := time.Now()
+	var clusters []*cluster.Cluster
+	var effSizes []float64
+	if cfg.Sampling != nil {
+		clusters, effSizes = clusterWithSampling(db, cfg, rng)
+	} else {
+		clusters = cluster.Run(db, cfg.Clustering).Clusters
+		effSizes = make([]float64, len(clusters))
+		for i, c := range clusters {
+			effSizes[i] = float64(c.Len())
+		}
+	}
+	clusteringTime := time.Since(clusterStart)
+
+	memberLists := make([][]int, len(clusters))
+	for i, c := range clusters {
+		memberLists[i] = c.Members
+	}
+	csgs := csg.BuildAll(db, memberLists)
+
+	patternStart := time.Now()
+	ctx := core.NewContextSized(db, csgs, effSizes)
+	sel, err := core.Select(ctx, cfg.Budget, cfg.Selection)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Patterns:       sel.Patterns,
+		Clusters:       memberLists,
+		CSGs:           csgs,
+		EffectiveSizes: effSizes,
+		WorkingDB:      db,
+		ClusteringTime: clusteringTime,
+		PatternTime:    time.Since(patternStart),
+		Exhausted:      sel.Exhausted,
+	}, nil
+}
+
+// clusterWithSampling implements the two-level sampling pipeline of
+// Sec 4.3:
+//
+//  1. Eager: frequent subtrees are mined on a uniform sample at a lowered
+//     threshold low_fr (Lemma 4.4), then recounted against the full
+//     database at the original threshold — clustering features without
+//     scanning every graph during candidate generation.
+//  2. Every graph of the full database is then clustered (feature vectors
+//     plus k-means), as in the paper where clustering time still grows
+//     with |D|.
+//  3. Lazy: oversize coarse clusters are shrunk by stratified sampling
+//     (Lemma 4.5) before fine clustering and CSG generation; each final
+//     cluster carries the effective (pre-sampling) size so cluster
+//     weights still reflect true coverage.
+func clusterWithSampling(db *graph.DB, cfg Config, rng *rand.Rand) ([]*cluster.Cluster, []float64) {
+	ccfg := cfg.Clustering
+	if ccfg.N <= 0 {
+		ccfg.N = 20
+	}
+	if ccfg.MinSupport <= 0 {
+		ccfg.MinSupport = 0.1
+	}
+	if ccfg.MaxTreeEdges <= 0 {
+		ccfg.MaxTreeEdges = 3
+	}
+	if ccfg.MaxFeatures == 0 {
+		ccfg.MaxFeatures = 40
+	}
+
+	// Eager sampling for feature mining.
+	size := sampling.EagerSize(cfg.Sampling.Epsilon, cfg.Sampling.Rho)
+	features := func() []*treemine.FrequentTree {
+		if size >= db.Len() {
+			mined := treemine.Mine(db, treemine.MineOptions{
+				MinSupport: ccfg.MinSupport, MaxEdges: ccfg.MaxTreeEdges,
+			})
+			return treemine.SelectFeatures(mined, ccfg.MaxFeatures)
+		}
+		idx := sampling.Eager(db.Len(), size, rng)
+		sampleDB := graph.NewDB(db.Name+"-eager", cloneAll(db.Subset("", idx).Graphs))
+		lowFr := sampling.LowSupport(ccfg.MinSupport, 0.01, size)
+		if lowFr <= 0 {
+			lowFr = ccfg.MinSupport / 2
+		}
+		mined := treemine.Mine(sampleDB, treemine.MineOptions{
+			MinSupport: lowFr, MaxEdges: ccfg.MaxTreeEdges,
+		})
+		verified := treemine.Recount(db, mined, ccfg.MinSupport)
+		return treemine.SelectFeatures(verified, ccfg.MaxFeatures)
+	}()
+
+	coarse := cluster.CoarseWithFeatures(db, features, ccfg)
+
+	// Lazy sampling of oversize clusters, tracking inflation factors so
+	// fine sub-clusters inherit proportional effective sizes.
+	type lazied struct {
+		c       *cluster.Cluster
+		inflate float64
+	}
+	var ls []lazied
+	for _, c := range coarse {
+		sampled := sampling.Lazy(c.Members, db.Len(), cfg.Sampling.Z, cfg.Sampling.P, cfg.Sampling.E, rng)
+		inflate := 1.0
+		if len(sampled) > 0 {
+			inflate = float64(c.Len()) / float64(len(sampled))
+		}
+		ls = append(ls, lazied{&cluster.Cluster{Members: sampled}, inflate})
+	}
+
+	var out []*cluster.Cluster
+	var sizes []float64
+	for _, l := range ls {
+		for _, fc := range cluster.Fine(db, []*cluster.Cluster{l.c}, ccfg) {
+			out = append(out, fc)
+			sizes = append(sizes, float64(fc.Len())*l.inflate)
+		}
+	}
+	return out, sizes
+}
+
+func cloneAll(gs []*graph.Graph) []*graph.Graph {
+	out := make([]*graph.Graph, len(gs))
+	for i, g := range gs {
+		out[i] = g.Clone()
+	}
+	return out
+}

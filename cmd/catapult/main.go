@@ -1,0 +1,124 @@
+// Command catapult mines canned patterns from a graph database file.
+//
+// Usage:
+//
+//	catapult -in db.txt -min 3 -max 12 -gamma 30 [-sample] [-out patterns.txt]
+//
+// The input is the line-oriented transaction format of internal/graph
+// ("t # <id>" / "v <id> <label>" / "e <u> <v>"). Selected patterns are
+// written in the same format (to stdout by default) together with a
+// per-pattern score summary on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	catapult "repro"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/freqmine"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input database file (required)")
+		out     = flag.String("out", "", "output pattern file (default stdout)")
+		etaMin  = flag.Int("min", 3, "minimum pattern size ηmin (edges, > 2)")
+		etaMax  = flag.Int("max", 12, "maximum pattern size ηmax (edges)")
+		gamma   = flag.Int("gamma", 30, "number of patterns γ")
+		n       = flag.Int("n", 20, "maximum cluster size N")
+		minSup  = flag.Float64("minsup", 0.1, "frequent subtree support threshold")
+		sample  = flag.Bool("sample", false, "enable eager+lazy sampling (Sec 4.3)")
+		seed    = flag.Int64("seed", 42, "random seed")
+		walks   = flag.Int("walks", 20, "random walks per CSG and size")
+		topCSGs = flag.Int("topcsgs", 0, "propose candidates from only the top-k CSGs per iteration (0 = all)")
+		logFile = flag.String("log", "", "optional query-log file: boosts patterns frequent in past queries")
+		graphml = flag.Bool("graphml", false, "emit patterns as GraphML instead of transaction text")
+		basic   = flag.Int("basic", 0, "also select the top-m basic patterns (size ≤ 2, by support)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "catapult: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	db, err := graph.Read(f, *in)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %s: %s\n", *in, db.ComputeStats())
+
+	cfg := catapult.Config{
+		Budget:     core.Budget{EtaMin: *etaMin, EtaMax: *etaMax, Gamma: *gamma},
+		Clustering: cluster.Config{Strategy: cluster.HybridMCCS, N: *n, MinSupport: *minSup},
+		Selection:  core.Options{Walks: *walks, TopCSGs: *topCSGs},
+		Seed:       *seed,
+	}
+	if *sample {
+		cfg.Sampling = catapult.DefaultSampling()
+	}
+	if *logFile != "" {
+		lf, err := os.Open(*logFile)
+		if err != nil {
+			fatal(err)
+		}
+		logDB, err := graph.Read(lf, *logFile)
+		lf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Selection.QueryLog = logDB.Graphs
+		fmt.Fprintf(os.Stderr, "query log: %d queries (log-aware scoring enabled)\n", logDB.Len())
+	}
+
+	res, err := catapult.Select(db, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "clustering: %v (%d clusters), pattern selection: %v\n",
+		res.ClusteringTime, len(res.Clusters), res.PatternTime)
+	for i, p := range res.Patterns {
+		fmt.Fprintf(os.Stderr, "pattern %2d: size=%d score=%.4f ccov=%.3f lcov=%.3f div=%.0f cog=%.2f\n",
+			i, p.Size(), p.Score, p.Ccov, p.Lcov, p.Div, p.Cog)
+	}
+	if res.Exhausted {
+		fmt.Fprintf(os.Stderr, "note: selection exhausted at %d of %d patterns\n", len(res.Patterns), *gamma)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		w, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer w.Close()
+	}
+	patterns := res.PatternGraphs()
+	if *basic > 0 {
+		basics := freqmine.BasicPatterns(db, *basic)
+		fmt.Fprintf(os.Stderr, "basic patterns (size ≤ 2): %d\n", len(basics))
+		patterns = append(basics, patterns...)
+	}
+	pdb := graph.NewDB("patterns", patterns)
+	if *graphml {
+		if err := graph.WriteGraphML(w, pdb); err != nil {
+			fatal(err)
+		}
+	} else if err := graph.Write(w, pdb); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "catapult:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,137 @@
+package catapult
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ged"
+	"repro/internal/queryform"
+	"repro/internal/subiso"
+)
+
+// Integration invariants across the whole pipeline: clustering, CSGs,
+// selection and the downstream evaluation machinery must agree with each
+// other on a realistic dataset.
+
+func TestPipelineInvariants(t *testing.T) {
+	db := dataset.AIDSLike(60, 21)
+	res, err := Select(db, Config{
+		Budget:     core.Budget{EtaMin: 3, EtaMax: 7, Gamma: 8},
+		Clustering: cluster.Config{Strategy: cluster.HybridMCCS, N: 12, MinSupport: 0.15},
+		Seed:       23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (1) Clusters partition the database.
+	seen := make([]bool, db.Len())
+	for _, members := range res.Clusters {
+		for _, m := range members {
+			if seen[m] {
+				t.Fatalf("graph %d in two clusters", m)
+			}
+			seen[m] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("graph %d unassigned", i)
+		}
+	}
+
+	// (2) Every cluster member embeds in its CSG (closure property).
+	for ci, c := range res.CSGs {
+		for _, m := range c.Members {
+			if !subiso.Contains(c.G, db.Graph(m)) {
+				t.Errorf("cluster %d: member %d does not embed in CSG", ci, m)
+			}
+		}
+	}
+
+	// (3) Every selected pattern embeds in at least one CSG, and its
+	// reported ccov is consistent with fresh VF2 checks against the
+	// original cluster weights (ccov values only shrink over iterations
+	// due to the multiplicative update, so reported <= initial).
+	for pi, p := range res.Patterns {
+		inSomeCSG := false
+		initial := 0.0
+		for ci, c := range res.CSGs {
+			if subiso.Contains(c.G, p.Graph) {
+				inSomeCSG = true
+				initial += res.EffectiveSizes[ci] / float64(db.Len())
+			}
+		}
+		if !inSomeCSG {
+			t.Errorf("pattern %d embeds in no CSG", pi)
+		}
+		if p.Ccov > initial+1e-9 {
+			t.Errorf("pattern %d ccov %v exceeds initial coverage %v", pi, p.Ccov, initial)
+		}
+	}
+
+	// (4) Reported diversity of each pattern matches a recomputation
+	// against the patterns selected before it.
+	graphsSoFar := res.PatternGraphs()
+	for pi := 1; pi < len(graphsSoFar); pi++ {
+		want, _ := ged.MinDistance(graphsSoFar[pi], graphsSoFar[:pi])
+		if int(res.Patterns[pi].Div) != want {
+			t.Errorf("pattern %d div = %v, recomputed %d", pi, res.Patterns[pi].Div, want)
+		}
+	}
+
+	// (5) The query formulation model can consume the selection: a
+	// workload evaluation runs and produces sane aggregates.
+	queries := dataset.Queries(db, 15, 4, 15, 29)
+	m := queryform.Evaluate(queries, graphsSoFar, false)
+	if m.MP < 0 || m.MP > 100 {
+		t.Errorf("MP out of range: %v", m.MP)
+	}
+	if m.AvgMu < 0 || m.AvgMu > 1 || m.MaxMu < m.AvgMu {
+		t.Errorf("mu stats inconsistent: avg %v max %v", m.AvgMu, m.MaxMu)
+	}
+	for _, r := range m.Steps {
+		if r.StepP > r.StepTotal {
+			t.Errorf("pattern-at-a-time (%d) worse than edge-at-a-time (%d)", r.StepP, r.StepTotal)
+		}
+	}
+}
+
+// TestPipelineFirstScoreConsistent re-derives the first selected pattern's
+// score from a fresh context (no discounts applied yet) and checks it
+// matches the recorded breakdown: score = ccov × lcov × div / cog with
+// div = 1 for the first pick.
+func TestPipelineFirstScoreConsistent(t *testing.T) {
+	db := dataset.EMolLike(40, 31)
+	res, err := Select(db, Config{
+		Budget:     core.Budget{EtaMin: 3, EtaMax: 5, Gamma: 5},
+		Clustering: cluster.Config{Strategy: cluster.HybridMCCS, N: 10, MinSupport: 0.15},
+		Seed:       37,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns")
+	}
+	p0 := res.Patterns[0]
+	if p0.Div != 1 {
+		t.Errorf("first pattern div = %v, want 1", p0.Div)
+	}
+	fresh := core.NewContextSized(db, res.CSGs, res.EffectiveSizes)
+	score, ccov, lcov, _, cog := fresh.ScorePattern(p0.Graph, nil)
+	if diff(score, p0.Score) > 1e-9 || diff(ccov, p0.Ccov) > 1e-9 ||
+		diff(lcov, p0.Lcov) > 1e-9 || diff(cog, p0.Cog) > 1e-9 {
+		t.Errorf("recorded breakdown (%v %v %v %v) != fresh (%v %v %v %v)",
+			p0.Score, p0.Ccov, p0.Lcov, p0.Cog, score, ccov, lcov, cog)
+	}
+}
+
+func diff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,109 @@
+// Package bitset provides a fixed-capacity bitset used for graph-coverage
+// bookkeeping (sets of data-graph indices).
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bitset over [0, n).
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity n.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Cap returns the capacity n.
+func (s *Set) Cap() int { return s.n }
+
+// Add inserts i. It panics if i is out of range.
+func (s *Set) Add(i int) {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+	s.words[i/64] |= 1 << (uint(i) % 64)
+}
+
+// Has reports whether i is in the set.
+func (s *Set) Has(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Count returns the number of elements.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IntersectWith removes from s every element not in o. Both sets must
+// share capacity.
+func (s *Set) IntersectWith(o *Set) {
+	if o == nil {
+		for i := range s.words {
+			s.words[i] = 0
+		}
+		return
+	}
+	if o.n != s.n {
+		panic("bitset: capacity mismatch")
+	}
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+}
+
+// UnionWith adds all elements of o to s. Both sets must share capacity.
+func (s *Set) UnionWith(o *Set) {
+	if o == nil {
+		return
+	}
+	if o.n != s.n {
+		panic("bitset: capacity mismatch")
+	}
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// Clone returns a copy of s.
+func (s *Set) Clone() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}
+
+// UnionCount returns |s ∪ o| without materializing the union.
+func (s *Set) UnionCount(o *Set) int {
+	if o == nil {
+		return s.Count()
+	}
+	if o.n != s.n {
+		panic("bitset: capacity mismatch")
+	}
+	c := 0
+	for i := range s.words {
+		c += bits.OnesCount64(s.words[i] | o.words[i])
+	}
+	return c
+}
+
+// Elements returns the members in ascending order.
+func (s *Set) Elements() []int {
+	var out []int
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &^= 1 << uint(b)
+		}
+	}
+	return out
+}

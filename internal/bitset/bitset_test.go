@@ -1,0 +1,104 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if s.Cap() != 130 || s.Count() != 0 {
+		t.Fatalf("fresh set wrong: cap=%d count=%d", s.Cap(), s.Count())
+	}
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	if s.Count() != 3 {
+		t.Errorf("Count = %d, want 3", s.Count())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !s.Has(i) {
+			t.Errorf("missing %d", i)
+		}
+	}
+	if s.Has(1) || s.Has(-1) || s.Has(500) {
+		t.Error("spurious membership")
+	}
+	got := s.Elements()
+	want := []int{0, 64, 129}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elements = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	s := New(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on out-of-range Add")
+		}
+	}()
+	s.Add(8)
+}
+
+func TestUnion(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Add(1)
+	a.Add(50)
+	b.Add(50)
+	b.Add(99)
+	if got := a.UnionCount(b); got != 3 {
+		t.Errorf("UnionCount = %d, want 3", got)
+	}
+	if got := a.UnionCount(nil); got != 2 {
+		t.Errorf("UnionCount(nil) = %d, want 2", got)
+	}
+	a.UnionWith(b)
+	if a.Count() != 3 || !a.Has(99) {
+		t.Error("UnionWith failed")
+	}
+	a.UnionWith(nil) // no-op
+	if a.Count() != 3 {
+		t.Error("UnionWith(nil) changed the set")
+	}
+}
+
+func TestUnionCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on capacity mismatch")
+		}
+	}()
+	New(10).UnionWith(New(20))
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(10)
+	a.Add(3)
+	b := a.Clone()
+	b.Add(4)
+	if a.Has(4) {
+		t.Error("clone shares storage")
+	}
+	if !b.Has(3) {
+		t.Error("clone lost element")
+	}
+}
+
+func TestCountMatchesElementsProperty(t *testing.T) {
+	f := func(idx []uint16) bool {
+		s := New(1 << 16)
+		uniq := map[int]bool{}
+		for _, i := range idx {
+			s.Add(int(i))
+			uniq[int(i)] = true
+		}
+		return s.Count() == len(uniq) && len(s.Elements()) == len(uniq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,36 @@
+package bitset
+
+import "testing"
+
+func TestIntersectWith(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Add(1)
+	a.Add(50)
+	a.Add(99)
+	b.Add(50)
+	b.Add(99)
+	b.Add(3)
+	a.IntersectWith(b)
+	if a.Count() != 2 || !a.Has(50) || !a.Has(99) || a.Has(1) {
+		t.Errorf("intersection wrong: %v", a.Elements())
+	}
+}
+
+func TestIntersectWithNilEmpties(t *testing.T) {
+	a := New(10)
+	a.Add(2)
+	a.IntersectWith(nil)
+	if a.Count() != 0 {
+		t.Error("intersect with nil should empty the set")
+	}
+}
+
+func TestIntersectCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on capacity mismatch")
+		}
+	}()
+	New(10).IntersectWith(New(20))
+}

@@ -1,0 +1,295 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mcs"
+	"repro/internal/treemine"
+)
+
+// Cluster is a set of data-graph indices into the clustered database.
+type Cluster struct {
+	Members []int
+}
+
+// Len returns the cluster size.
+func (c *Cluster) Len() int { return len(c.Members) }
+
+// Strategy selects the clustering pipeline, matching the Exp 1 scenarios.
+type Strategy int
+
+const (
+	// CoarseOnly runs only frequent-subtree k-means clustering (CC).
+	CoarseOnly Strategy = iota
+	// FineOnlyMCCS splits the whole database with MCCS-based fine
+	// clustering (mccsFC).
+	FineOnlyMCCS
+	// FineOnlyMCS splits with (unconnected) MCS similarity (mcsFC).
+	FineOnlyMCS
+	// HybridMCCS runs coarse then MCCS fine clustering (mccsH) — the
+	// paper's recommended configuration.
+	HybridMCCS
+	// HybridMCS runs coarse then MCS fine clustering (mcsH).
+	HybridMCS
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case CoarseOnly:
+		return "CC"
+	case FineOnlyMCCS:
+		return "mccsFC"
+	case FineOnlyMCS:
+		return "mcsFC"
+	case HybridMCCS:
+		return "mccsH"
+	case HybridMCS:
+		return "mcsH"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Config controls small graph clustering.
+type Config struct {
+	Strategy Strategy
+	// N is the maximum cluster size (paper default 20). Clusters above N
+	// are split by fine clustering; it also drives k = |D|/N for k-means.
+	N int
+	// MinSupport is the frequent-subtree support threshold for coarse
+	// features.
+	MinSupport float64
+	// MaxTreeEdges caps mined subtree size.
+	MaxTreeEdges int
+	// MaxFeatures caps the number of subtree features after
+	// facility-location selection (0 = no cap).
+	MaxFeatures int
+	// MCSBudget bounds each MCS/MCCS computation during fine clustering.
+	MCSBudget int
+	// Seed drives k-means++ and fine-clustering seed choices.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.N <= 0 {
+		c.N = 20
+	}
+	if c.MinSupport <= 0 {
+		c.MinSupport = 0.1
+	}
+	if c.MaxTreeEdges <= 0 {
+		c.MaxTreeEdges = 3
+	}
+	if c.MaxFeatures == 0 {
+		c.MaxFeatures = 40
+	}
+	if c.MCSBudget <= 0 {
+		c.MCSBudget = 20000
+	}
+}
+
+// Result is the output of small graph clustering.
+type Result struct {
+	Clusters []*Cluster
+	// Features is the selected frequent-subtree feature set (nil for
+	// fine-only strategies).
+	Features []*treemine.FrequentTree
+}
+
+// Run performs small graph clustering of db under the given configuration
+// (Algorithm 1, lines 1-2).
+func Run(db *graph.DB, cfg Config) *Result {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	switch cfg.Strategy {
+	case CoarseOnly:
+		cs, feats := coarse(db, cfg, rng)
+		return &Result{Clusters: cs, Features: feats}
+	case FineOnlyMCCS, FineOnlyMCS:
+		all := &Cluster{Members: allIndices(db.Len())}
+		cs := fine(db, []*Cluster{all}, cfg, rng)
+		return &Result{Clusters: cs}
+	case HybridMCCS, HybridMCS:
+		cs, feats := coarse(db, cfg, rng)
+		cs = fine(db, cs, cfg, rng)
+		return &Result{Clusters: cs, Features: feats}
+	default:
+		panic(fmt.Sprintf("cluster: unknown strategy %v", cfg.Strategy))
+	}
+}
+
+// Coarse runs only the coarse (Algorithm 2) phase under cfg and returns the
+// clusters and selected subtree features. Exposed for pipelines that need
+// to intervene between the coarse and fine phases (lazy sampling, Sec 4.3).
+func Coarse(db *graph.DB, cfg Config) *Result {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cs, feats := coarse(db, cfg, rng)
+	return &Result{Clusters: cs, Features: feats}
+}
+
+// Fine runs only the fine (Algorithm 3) phase on the given clusters,
+// splitting any cluster larger than cfg.N.
+func Fine(db *graph.DB, in []*Cluster, cfg Config) []*Cluster {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return fine(db, in, cfg, rng)
+}
+
+// CoarseWithFeatures runs the k-means part of coarse clustering with an
+// externally supplied feature set — the entry point for the eager-sampling
+// pipeline (Sec 4.3), where frequent subtrees are mined on a sample but
+// every graph of the full database is clustered.
+func CoarseWithFeatures(db *graph.DB, features []*treemine.FrequentTree, cfg Config) []*Cluster {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if len(features) == 0 {
+		return []*Cluster{{Members: allIndices(db.Len())}}
+	}
+	k := db.Len() / cfg.N
+	if k < 1 {
+		k = 1
+	}
+	bits := treemine.FeatureVectors(db, features)
+	vecs := make([]Vector, len(bits))
+	for i, b := range bits {
+		vecs[i] = FromBits(b)
+	}
+	assign := KMeans(vecs, k, rng, 0)
+	byCluster := map[int][]int{}
+	for i, c := range assign {
+		byCluster[c] = append(byCluster[c], i)
+	}
+	keys := make([]int, 0, len(byCluster))
+	for c := range byCluster {
+		keys = append(keys, c)
+	}
+	sort.Ints(keys)
+	var out []*Cluster
+	for _, c := range keys {
+		out = append(out, &Cluster{Members: byCluster[c]})
+	}
+	return out
+}
+
+func allIndices(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// coarse implements Algorithm 2: mine frequent subtrees, refine them with
+// facility-location selection, build binary feature vectors, k-means.
+func coarse(db *graph.DB, cfg Config, rng *rand.Rand) ([]*Cluster, []*treemine.FrequentTree) {
+	all := treemine.Mine(db, treemine.MineOptions{
+		MinSupport: cfg.MinSupport,
+		MaxEdges:   cfg.MaxTreeEdges,
+	})
+	sel := treemine.SelectFeatures(all, cfg.MaxFeatures)
+	k := db.Len() / cfg.N
+	if k < 1 {
+		k = 1
+	}
+	if len(sel) == 0 {
+		// No frequent structure at all: a single cluster.
+		return []*Cluster{{Members: allIndices(db.Len())}}, nil
+	}
+	bits := treemine.FeatureVectors(db, sel)
+	vecs := make([]Vector, len(bits))
+	for i, b := range bits {
+		vecs[i] = FromBits(b)
+	}
+	assign := KMeans(vecs, k, rng, 0)
+	byCluster := map[int][]int{}
+	for i, c := range assign {
+		byCluster[c] = append(byCluster[c], i)
+	}
+	keys := make([]int, 0, len(byCluster))
+	for c := range byCluster {
+		keys = append(keys, c)
+	}
+	sort.Ints(keys)
+	var out []*Cluster
+	for _, c := range keys {
+		out = append(out, &Cluster{Members: byCluster[c]})
+	}
+	return out, sel
+}
+
+// fine implements Algorithm 3: every cluster larger than N is split into
+// two around a random seed and the graph most dissimilar to it (by
+// MCS/MCCS similarity); splits repeat until all clusters are within N.
+func fine(db *graph.DB, in []*Cluster, cfg Config, rng *rand.Rand) []*Cluster {
+	similarity := func(a, b *graph.Graph) float64 {
+		if cfg.Strategy == FineOnlyMCS || cfg.Strategy == HybridMCS {
+			return mcs.SimilarityMCS(a, b, cfg.MCSBudget)
+		}
+		return mcs.SimilarityMCCS(a, b, cfg.MCSBudget)
+	}
+
+	var done []*Cluster
+	var large []*Cluster
+	for _, c := range in {
+		if c.Len() > cfg.N {
+			large = append(large, c)
+		} else {
+			done = append(done, c)
+		}
+	}
+
+	for len(large) > 0 {
+		cur := large[0]
+		large = large[1:]
+
+		// Seed1: random member. Seed2: member most dissimilar to Seed1.
+		mi := rng.Intn(cur.Len())
+		seed1 := cur.Members[mi]
+		g1 := db.Graph(seed1)
+		rest := make([]int, 0, cur.Len()-1)
+		for _, m := range cur.Members {
+			if m != seed1 {
+				rest = append(rest, m)
+			}
+		}
+		sims := make(map[int]float64, len(rest))
+		seed2 := rest[0]
+		worst := 2.0
+		for _, m := range rest {
+			s := similarity(db.Graph(m), g1)
+			sims[m] = s
+			if s < worst {
+				worst = s
+				seed2 = m
+			}
+		}
+		g2 := db.Graph(seed2)
+
+		c1 := &Cluster{Members: []int{seed1}}
+		c2 := &Cluster{Members: []int{seed2}}
+		for _, m := range rest {
+			if m == seed2 {
+				continue
+			}
+			if sims[m] > similarity(db.Graph(m), g2) {
+				c1.Members = append(c1.Members, m)
+			} else {
+				c2.Members = append(c2.Members, m)
+			}
+		}
+		for _, nc := range []*Cluster{c1, c2} {
+			if nc.Len() > cfg.N && nc.Len() < cur.Len() {
+				large = append(large, nc)
+			} else {
+				// Either within budget or the split made no progress
+				// (all graphs equally similar); accept to guarantee
+				// termination.
+				done = append(done, nc)
+			}
+		}
+	}
+	return done
+}

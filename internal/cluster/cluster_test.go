@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var vecs []Vector
+	// Two well-separated blobs in 2D.
+	for i := 0; i < 20; i++ {
+		vecs = append(vecs, Vector{rng.Float64() * 0.1, rng.Float64() * 0.1})
+	}
+	for i := 0; i < 20; i++ {
+		vecs = append(vecs, Vector{10 + rng.Float64()*0.1, 10 + rng.Float64()*0.1})
+	}
+	assign := KMeans(vecs, 2, rng, 0)
+	if len(assign) != 40 {
+		t.Fatalf("assignment length %d", len(assign))
+	}
+	first := assign[0]
+	for i := 1; i < 20; i++ {
+		if assign[i] != first {
+			t.Fatal("first blob split across clusters")
+		}
+	}
+	second := assign[20]
+	if second == first {
+		t.Fatal("blobs merged")
+	}
+	for i := 21; i < 40; i++ {
+		if assign[i] != second {
+			t.Fatal("second blob split across clusters")
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if KMeans(nil, 3, rand.New(rand.NewSource(1)), 0) != nil {
+		t.Error("empty input should return nil")
+	}
+	vecs := []Vector{{1}, {2}}
+	assign := KMeans(vecs, 10, rand.New(rand.NewSource(1)), 0) // k > n
+	if len(assign) != 2 {
+		t.Errorf("assignment length %d", len(assign))
+	}
+	// Identical points: must terminate and produce a valid assignment.
+	same := []Vector{{5, 5}, {5, 5}, {5, 5}}
+	assign = KMeans(same, 2, rand.New(rand.NewSource(2)), 0)
+	for _, a := range assign {
+		if a < 0 || a >= 2 {
+			t.Errorf("invalid cluster index %d", a)
+		}
+	}
+}
+
+func TestKMeansAssignmentRangeProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(30)
+		k := int(kRaw)%8 + 1
+		vecs := make([]Vector, n)
+		for i := range vecs {
+			vecs[i] = Vector{rng.Float64(), rng.Float64(), rng.Float64()}
+		}
+		assign := KMeans(vecs, k, rng, 0)
+		if len(assign) != n {
+			return false
+		}
+		for _, a := range assign {
+			if a < 0 || a >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromBits(t *testing.T) {
+	v := FromBits([]bool{true, false, true})
+	if v[0] != 1 || v[1] != 0 || v[2] != 1 {
+		t.Errorf("FromBits = %v", v)
+	}
+}
+
+// clusteredDB builds a database with two structurally distinct families:
+// rings of C and stars of N around O.
+func clusteredDB(nPerFamily int) *graph.DB {
+	var gs []*graph.Graph
+	for i := 0; i < nPerFamily; i++ {
+		// 6-ring of C with a pendant O.
+		g := graph.New(7, 7)
+		for j := 0; j < 6; j++ {
+			g.AddVertex("C")
+		}
+		for j := 0; j < 6; j++ {
+			g.MustAddEdge(graph.VertexID(j), graph.VertexID((j+1)%6))
+		}
+		o := g.AddVertex("O")
+		g.MustAddEdge(0, o)
+		gs = append(gs, g)
+	}
+	for i := 0; i < nPerFamily; i++ {
+		// Star: O center with 4 N leaves.
+		g := graph.New(5, 4)
+		c := g.AddVertex("O")
+		for j := 0; j < 4; j++ {
+			v := g.AddVertex("N")
+			g.MustAddEdge(c, v)
+		}
+		gs = append(gs, g)
+	}
+	return graph.NewDB("fam", gs)
+}
+
+func TestRunPartitionInvariant(t *testing.T) {
+	db := clusteredDB(8)
+	for _, strat := range []Strategy{CoarseOnly, FineOnlyMCCS, FineOnlyMCS, HybridMCCS, HybridMCS} {
+		res := Run(db, Config{Strategy: strat, N: 6, MinSupport: 0.2, Seed: 7})
+		seen := make([]bool, db.Len())
+		for _, c := range res.Clusters {
+			for _, m := range c.Members {
+				if m < 0 || m >= db.Len() {
+					t.Fatalf("%v: member %d out of range", strat, m)
+				}
+				if seen[m] {
+					t.Fatalf("%v: graph %d in two clusters", strat, m)
+				}
+				seen[m] = true
+			}
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("%v: graph %d unassigned", strat, i)
+			}
+		}
+	}
+}
+
+func TestFineClusteringRespectsN(t *testing.T) {
+	db := clusteredDB(10)
+	res := Run(db, Config{Strategy: FineOnlyMCCS, N: 5, Seed: 3})
+	for _, c := range res.Clusters {
+		// Fine clustering accepts an oversize cluster only when a split
+		// makes no progress; with two distinct families splits always
+		// progress, so all clusters must respect N here.
+		if c.Len() > 5 {
+			t.Errorf("cluster size %d exceeds N=5", c.Len())
+		}
+	}
+}
+
+func TestFineClusteringSeparatesFamilies(t *testing.T) {
+	db := clusteredDB(6)
+	res := Run(db, Config{Strategy: FineOnlyMCCS, N: 6, Seed: 11})
+	// With N=6 and 12 graphs the first split must separate rings (indices
+	// 0-5) from stars (6-11): rings share no labels with stars so the
+	// MCCS similarity across families is 0.
+	for _, c := range res.Clusters {
+		hasRing, hasStar := false, false
+		for _, m := range c.Members {
+			if m < 6 {
+				hasRing = true
+			} else {
+				hasStar = true
+			}
+		}
+		if hasRing && hasStar {
+			t.Errorf("cluster mixes families: %v", c.Members)
+		}
+	}
+}
+
+func TestCoarseProducesFeatures(t *testing.T) {
+	db := clusteredDB(8)
+	res := Run(db, Config{Strategy: CoarseOnly, N: 6, MinSupport: 0.2, Seed: 5})
+	if len(res.Features) == 0 {
+		t.Error("coarse clustering produced no subtree features")
+	}
+	if len(res.Clusters) < 2 {
+		t.Errorf("expected at least 2 clusters, got %d", len(res.Clusters))
+	}
+}
+
+func TestHybridRespectsNWithProgress(t *testing.T) {
+	db := clusteredDB(12)
+	res := Run(db, Config{Strategy: HybridMCCS, N: 4, MinSupport: 0.2, Seed: 13})
+	total := 0
+	for _, c := range res.Clusters {
+		total += c.Len()
+	}
+	if total != db.Len() {
+		t.Errorf("cluster membership total %d != %d", total, db.Len())
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	names := map[Strategy]string{
+		CoarseOnly: "CC", FineOnlyMCCS: "mccsFC", FineOnlyMCS: "mcsFC",
+		HybridMCCS: "mccsH", HybridMCS: "mcsH",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+	if Strategy(99).String() == "" {
+		t.Error("unknown strategy should still render")
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	db := clusteredDB(6)
+	a := Run(db, Config{Strategy: HybridMCCS, N: 5, MinSupport: 0.2, Seed: 21})
+	b := Run(db, Config{Strategy: HybridMCCS, N: 5, MinSupport: 0.2, Seed: 21})
+	if len(a.Clusters) != len(b.Clusters) {
+		t.Fatalf("nondeterministic cluster count: %d vs %d", len(a.Clusters), len(b.Clusters))
+	}
+	for i := range a.Clusters {
+		am, bm := a.Clusters[i].Members, b.Clusters[i].Members
+		if len(am) != len(bm) {
+			t.Fatalf("cluster %d size differs", i)
+		}
+		for j := range am {
+			if am[j] != bm[j] {
+				t.Fatalf("cluster %d member %d differs", i, j)
+			}
+		}
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	vecs := make([]Vector, 500)
+	for i := range vecs {
+		vecs[i] = Vector{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KMeans(vecs, 10, rng, 20)
+	}
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/mcs"
+)
+
+// K-medoids clustering over a graph distance. The paper notes coarse
+// clustering is pluggable ("the Catapult framework is orthogonal to the
+// choice of a feature vector-based clustering approach as k-means can be
+// replaced with an alternative clustering algorithm", Sec 4.1 remark);
+// k-medoids works directly on structural distances (1 - ωmccs) without
+// feature vectors, trading the subtree-mining stage for pairwise MCCS
+// computations.
+
+// DistanceFunc measures dissimilarity between two data graphs in [0, 1].
+type DistanceFunc func(a, b *graph.Graph) float64
+
+// MCCSDistance returns 1 - ωmccs with the given node budget per
+// computation.
+func MCCSDistance(budget int) DistanceFunc {
+	return func(a, b *graph.Graph) float64 {
+		return 1 - mcs.SimilarityMCCS(a, b, budget)
+	}
+}
+
+// KMedoids clusters db into at most k clusters with the PAM-style
+// alternating algorithm: medoids seeded by a k-means++-like D² rule,
+// points assigned to the nearest medoid, medoids re-chosen as the
+// assignment cost minimizer, until stable or maxIter rounds. Distances
+// are computed once into a matrix, so this is intended for the modest
+// database sizes the fine-clustering stage handles (N·k ≲ a few hundred).
+func KMedoids(db *graph.DB, k int, dist DistanceFunc, seed int64, maxIter int) []*Cluster {
+	n := db.Len()
+	if n == 0 {
+		return nil
+	}
+	if k <= 0 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Pairwise distance matrix (symmetric).
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := dist(db.Graph(i), db.Graph(j))
+			d[i][j] = v
+			d[j][i] = v
+		}
+	}
+
+	// D² seeding on the distance matrix.
+	medoids := []int{rng.Intn(n)}
+	for len(medoids) < k {
+		total := 0.0
+		best := make([]float64, n)
+		for i := 0; i < n; i++ {
+			m := 1e18
+			for _, md := range medoids {
+				if d[i][md] < m {
+					m = d[i][md]
+				}
+			}
+			best[i] = m * m
+			total += best[i]
+		}
+		if total == 0 {
+			medoids = append(medoids, rng.Intn(n))
+			continue
+		}
+		r := rng.Float64() * total
+		acc := 0.0
+		pick := n - 1
+		for i, b := range best {
+			acc += b
+			if acc >= r {
+				pick = i
+				break
+			}
+		}
+		medoids = append(medoids, pick)
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		// Assignment step.
+		for i := 0; i < n; i++ {
+			best, bestD := 0, 1e18
+			for ci, md := range medoids {
+				if d[i][md] < bestD {
+					best, bestD = ci, d[i][md]
+				}
+			}
+			assign[i] = best
+		}
+		// Update step: each cluster's new medoid minimizes intra-cluster
+		// distance sum.
+		changed := false
+		for ci := range medoids {
+			var members []int
+			for i, a := range assign {
+				if a == ci {
+					members = append(members, i)
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			bestM, bestCost := medoids[ci], 1e18
+			for _, cand := range members {
+				cost := 0.0
+				for _, m := range members {
+					cost += d[cand][m]
+				}
+				if cost < bestCost {
+					bestM, bestCost = cand, cost
+				}
+			}
+			if bestM != medoids[ci] {
+				medoids[ci] = bestM
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	byCluster := map[int][]int{}
+	for i, a := range assign {
+		byCluster[a] = append(byCluster[a], i)
+	}
+	var out []*Cluster
+	for ci := 0; ci < k; ci++ {
+		if ms := byCluster[ci]; len(ms) > 0 {
+			out = append(out, &Cluster{Members: ms})
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestKMedoidsSeparatesFamilies(t *testing.T) {
+	db := clusteredDB(6) // 6 rings then 6 stars
+	cs := KMedoids(db, 2, MCCSDistance(5000), 3, 0)
+	if len(cs) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(cs))
+	}
+	for _, c := range cs {
+		hasRing, hasStar := false, false
+		for _, m := range c.Members {
+			if m < 6 {
+				hasRing = true
+			} else {
+				hasStar = true
+			}
+		}
+		if hasRing && hasStar {
+			t.Errorf("k-medoids mixed families: %v", c.Members)
+		}
+	}
+}
+
+func TestKMedoidsPartition(t *testing.T) {
+	db := clusteredDB(5)
+	cs := KMedoids(db, 3, MCCSDistance(2000), 7, 10)
+	seen := make([]bool, db.Len())
+	for _, c := range cs {
+		for _, m := range c.Members {
+			if m < 0 || m >= db.Len() || seen[m] {
+				t.Fatalf("bad membership %d", m)
+			}
+			seen[m] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("graph %d unassigned", i)
+		}
+	}
+}
+
+func TestKMedoidsEdgeCases(t *testing.T) {
+	if out := KMedoids(graph.NewDB("e", nil), 2, MCCSDistance(100), 1, 0); out != nil {
+		t.Error("empty DB should return nil")
+	}
+	db := clusteredDB(1) // 2 graphs
+	cs := KMedoids(db, 10, MCCSDistance(100), 1, 0)
+	total := 0
+	for _, c := range cs {
+		total += c.Len()
+	}
+	if total != db.Len() {
+		t.Errorf("k > n partition broken: %d of %d", total, db.Len())
+	}
+	// k <= 0 coerced to 1.
+	one := KMedoids(db, 0, MCCSDistance(100), 1, 0)
+	if len(one) != 1 {
+		t.Errorf("k=0 should give one cluster, got %d", len(one))
+	}
+}
+
+func TestKMedoidsDeterministic(t *testing.T) {
+	db := clusteredDB(4)
+	a := KMedoids(db, 2, MCCSDistance(2000), 11, 0)
+	b := KMedoids(db, 2, MCCSDistance(2000), 11, 0)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic cluster count")
+	}
+	for i := range a {
+		if len(a[i].Members) != len(b[i].Members) {
+			t.Fatal("nondeterministic membership")
+		}
+		for j := range a[i].Members {
+			if a[i].Members[j] != b[i].Members[j] {
+				t.Fatal("nondeterministic members")
+			}
+		}
+	}
+}
+
+func TestMCCSDistanceRange(t *testing.T) {
+	db := clusteredDB(2)
+	d := MCCSDistance(2000)
+	for i := 0; i < db.Len(); i++ {
+		for j := 0; j < db.Len(); j++ {
+			v := d(db.Graph(i), db.Graph(j))
+			if v < 0 || v > 1 {
+				t.Fatalf("distance out of range: %v", v)
+			}
+			if i == j && v != 0 {
+				t.Errorf("self distance = %v, want 0", v)
+			}
+		}
+	}
+}

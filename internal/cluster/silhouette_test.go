@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSilhouetteWellSeparated(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var vecs []Vector
+	var assign []int
+	for i := 0; i < 15; i++ {
+		vecs = append(vecs, Vector{rng.Float64() * 0.05, 0})
+		assign = append(assign, 0)
+	}
+	for i := 0; i < 15; i++ {
+		vecs = append(vecs, Vector{10 + rng.Float64()*0.05, 0})
+		assign = append(assign, 1)
+	}
+	s := Silhouette(vecs, assign)
+	if s < 0.95 {
+		t.Errorf("well-separated silhouette = %v, want near 1", s)
+	}
+}
+
+func TestSilhouetteBadClustering(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var vecs []Vector
+	var assign []int
+	// One blob split arbitrarily into two clusters: silhouette ~ 0 or
+	// negative.
+	for i := 0; i < 30; i++ {
+		vecs = append(vecs, Vector{rng.Float64(), rng.Float64()})
+		assign = append(assign, i%2)
+	}
+	s := Silhouette(vecs, assign)
+	if s > 0.2 {
+		t.Errorf("random-split silhouette = %v, want near or below 0", s)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	if Silhouette(nil, nil) != 0 {
+		t.Error("empty input should give 0")
+	}
+	vecs := []Vector{{1}, {2}, {3}}
+	if Silhouette(vecs, []int{0, 0, 0}) != 0 {
+		t.Error("single cluster should give 0")
+	}
+	if Silhouette(vecs, []int{0, 0}) != 0 {
+		t.Error("mismatched lengths should give 0")
+	}
+	// Singletons only: all contributions are 0.
+	if s := Silhouette(vecs, []int{0, 1, 2}); s != 0 {
+		t.Errorf("all-singleton silhouette = %v, want 0", s)
+	}
+}
+
+func TestSilhouetteOrdering(t *testing.T) {
+	// A correct 2-blob assignment must beat a deliberately wrong one.
+	rng := rand.New(rand.NewSource(3))
+	var vecs []Vector
+	var good, bad []int
+	for i := 0; i < 20; i++ {
+		if i < 10 {
+			vecs = append(vecs, Vector{rng.Float64() * 0.1})
+		} else {
+			vecs = append(vecs, Vector{5 + rng.Float64()*0.1})
+		}
+		good = append(good, i/10)
+		bad = append(bad, i%2)
+	}
+	if Silhouette(vecs, good) <= Silhouette(vecs, bad) {
+		t.Error("correct clustering did not beat shuffled one")
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/ged"
+	"repro/internal/graph"
+	"repro/internal/subiso"
+)
+
+// CCov estimates subgraph coverage via cluster coverage (Sec 5):
+// ccov(p, cw, C) = Σ_i cw_i · I[CSG_i contains p], with containment tested
+// by VF2 against the cluster summary graphs.
+func (ctx *Context) CCov(p *graph.Graph) float64 {
+	total := 0.0
+	for i, c := range ctx.CSGs {
+		if ctx.cw[i] > 0 && subiso.Contains(c.G, p) {
+			total += ctx.cw[i]
+		}
+	}
+	return total
+}
+
+// LCov returns the label coverage of a single pattern:
+// lcov(p, D) = |L(E_p, D)| / |D|, the fraction of data graphs containing at
+// least one edge label of p.
+func (ctx *Context) LCov(p *graph.Graph) float64 {
+	if ctx.DB.Len() == 0 {
+		return 0
+	}
+	var union *bitset.Set
+	for _, e := range p.Edges() {
+		l := p.EdgeLabel(e.U, e.V)
+		if s := ctx.labelGraphs[l]; s != nil {
+			if union == nil {
+				union = s.Clone()
+			} else {
+				union.UnionWith(s)
+			}
+		}
+	}
+	if union == nil {
+		return 0
+	}
+	return float64(union.Count()) / float64(ctx.DB.Len())
+}
+
+// ScorePattern computes the pattern score of Eq 2 against the currently
+// selected patterns:
+//
+//	s_p = ccov(p, cw, C) × lcov(p, D) × div(p, P\p) / cog(p)
+//
+// Diversity is min-GED to the selected set with the GEDl pruning loop of
+// Sec 5 (performed inside ged.MinDistance); the first pattern of a set has
+// div = 1 by convention. A pattern isomorphic to an already-selected one
+// has div = 0 and thus score 0.
+func (ctx *Context) ScorePattern(p *graph.Graph, selected []*graph.Graph) (score, ccov, lcov, div, cog float64) {
+	ccov = ctx.CCov(p)
+	lcov = ctx.LCov(p)
+	cog = p.CognitiveLoad()
+	if len(selected) == 0 {
+		div = 1
+	} else {
+		d, _ := ged.MinDistance(p, selected)
+		div = float64(d)
+	}
+	if cog == 0 {
+		return 0, ccov, lcov, div, cog
+	}
+	score = ccov * lcov * div / cog
+	return score, ccov, lcov, div, cog
+}
+
+// scoreWith computes the pattern score under ablation options: the div
+// and 1/cog factors can be individually disabled. Candidate/selected
+// duplicate exclusion is handled by the caller, so a disabled diversity
+// term cannot re-admit duplicates.
+func (ctx *Context) scoreWith(p *graph.Graph, selected []*graph.Graph, opts Options) (score, ccov, lcov, div, cog float64) {
+	ccov = ctx.CCov(p)
+	lcov = ctx.LCov(p)
+	cog = p.CognitiveLoad()
+	div = 1
+	if !opts.DisableDiversity && len(selected) > 0 {
+		d, _ := ged.MinDistance(p, selected)
+		div = float64(d)
+	}
+	score = ccov * lcov * div
+	if !opts.DisableCognitiveLoad {
+		if cog == 0 {
+			return 0, ccov, lcov, div, cog
+		}
+		score /= cog
+	}
+	if len(opts.QueryLog) > 0 {
+		score *= 1 + queryLogFrequency(p, opts.QueryLog)
+	}
+	return score, ccov, lcov, div, cog
+}
+
+// queryLogFrequency returns the fraction of logged queries containing p.
+func queryLogFrequency(p *graph.Graph, log []*graph.Graph) float64 {
+	hits := 0
+	for _, q := range log {
+		if subiso.Contains(q, p) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(log))
+}
+
+// UpdateWeights applies the multiplicative weights update (Sec 5, n = 0.5)
+// after pattern p is selected: cluster weights of CSGs containing p are
+// halved, and so are the weights of edge labels occurring in p.
+func (ctx *Context) UpdateWeights(p *graph.Graph) {
+	const n = 0.5
+	for i, c := range ctx.CSGs {
+		if ctx.cw[i] > 0 && subiso.Contains(c.G, p) {
+			ctx.cw[i] *= 1 - n
+		}
+	}
+	seen := make(map[string]struct{})
+	for _, e := range p.Edges() {
+		l := p.EdgeLabel(e.U, e.V)
+		if _, dup := seen[l]; dup {
+			continue
+		}
+		seen[l] = struct{}{}
+		if _, ok := ctx.elw[l]; ok {
+			ctx.elw[l] *= 1 - n
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Exact pattern-set coverage measures (Sec 3.2), used for evaluation.
+
+// Scov computes the exact subgraph coverage of a pattern set:
+// scov(P, D) = |∪_p G_p| / |D| with VF2 containment per data graph.
+func Scov(db *graph.DB, patterns []*graph.Graph) float64 {
+	if db.Len() == 0 {
+		return 0
+	}
+	covered := bitset.New(db.Len())
+	for gi, g := range db.Graphs {
+		for _, p := range patterns {
+			if subiso.Contains(g, p) {
+				covered.Add(gi)
+				break
+			}
+		}
+	}
+	return float64(covered.Count()) / float64(db.Len())
+}
+
+// Lcov computes the exact label coverage of a pattern set:
+// lcov(P, D) = |L(E_P, D)| / |D|.
+func Lcov(db *graph.DB, patterns []*graph.Graph) float64 {
+	if db.Len() == 0 {
+		return 0
+	}
+	labels := make(map[string]struct{})
+	for _, p := range patterns {
+		for _, e := range p.Edges() {
+			labels[p.EdgeLabel(e.U, e.V)] = struct{}{}
+		}
+	}
+	covered := bitset.New(db.Len())
+	for gi, g := range db.Graphs {
+		for _, e := range g.Edges() {
+			if _, ok := labels[g.EdgeLabel(e.U, e.V)]; ok {
+				covered.Add(gi)
+				break
+			}
+		}
+	}
+	return float64(covered.Count()) / float64(db.Len())
+}
+
+// AvgDiversity returns the average over patterns of min-GED to the rest of
+// the set (the div statistic reported in Exp 3 and Exp 8).
+func AvgDiversity(patterns []*graph.Graph) float64 {
+	if len(patterns) < 2 {
+		return 0
+	}
+	total := 0.0
+	for i, p := range patterns {
+		rest := make([]*graph.Graph, 0, len(patterns)-1)
+		rest = append(rest, patterns[:i]...)
+		rest = append(rest, patterns[i+1:]...)
+		d, _ := ged.MinDistance(p, rest)
+		total += float64(d)
+	}
+	return total / float64(len(patterns))
+}
+
+// AvgCognitiveLoad returns the average cog over a pattern set.
+func AvgCognitiveLoad(patterns []*graph.Graph) float64 {
+	if len(patterns) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, p := range patterns {
+		total += p.CognitiveLoad()
+	}
+	return total / float64(len(patterns))
+}

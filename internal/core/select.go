@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/canon"
+	"repro/internal/graph"
+	"repro/internal/subiso"
+)
+
+// Select runs Algorithm 4: greedy, one canned pattern per iteration, until
+// the budget γ is met or no scoring candidate remains.
+func Select(ctx *Context, b Budget, opts Options) (*Result, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	opts.defaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	res := &Result{}
+	sizeCount := make(map[int]int)
+	var selectedGraphs []*graph.Graph
+	selectedSeen := make(map[string]struct{}) // canonical forms of selected patterns
+
+	for len(res.Patterns) < b.Gamma {
+		res.Iterations++
+
+		sizes := openSizes(b, sizeCount)
+		if len(sizes) == 0 {
+			res.Exhausted = true
+			break
+		}
+
+		// Candidate generation: each (CSG, size) proposes one candidate
+		// (the random-walk FCP of Algorithm 4, or the greedy-BFS candidate
+		// under the DaVinci ablation). Candidates isomorphic to an
+		// earlier candidate or to an already-selected pattern are dropped
+		// via canonical forms.
+		type candidate struct {
+			p      *graph.Graph
+			source int
+		}
+		var cands []candidate
+		seen := make(map[string]struct{})
+		for _, ci := range ctx.proposingCSGs(opts.TopCSGs) {
+			c := ctx.CSGs[ci]
+			for _, eta := range sizes {
+				var p *graph.Graph
+				if opts.BFSCandidates {
+					p = ctx.GenerateBFSCandidate(c, eta)
+				} else {
+					p = ctx.GenerateFCP(c, eta, opts.Walks, rng)
+				}
+				if p == nil {
+					continue
+				}
+				cf := canon.String(p)
+				if _, dup := seen[cf]; dup {
+					continue
+				}
+				if _, dup := selectedSeen[cf]; dup {
+					continue
+				}
+				seen[cf] = struct{}{}
+				cands = append(cands, candidate{p, ci})
+			}
+		}
+		if len(cands) == 0 {
+			res.Exhausted = true
+			break
+		}
+
+		// Score and pick the best.
+		best := -1
+		var bestPattern *Pattern
+		for i, c := range cands {
+			score, ccov, lcov, div, cog := ctx.scoreWith(c.p, selectedGraphs, opts)
+			if score <= 0 {
+				continue
+			}
+			if best < 0 || score > bestPattern.Score {
+				best = i
+				bestPattern = &Pattern{
+					Graph: c.p, Score: score,
+					Ccov: ccov, Lcov: lcov, Div: div, Cog: cog,
+					SourceCSG: c.source,
+				}
+			}
+		}
+		if best < 0 {
+			res.Exhausted = true
+			break
+		}
+
+		res.Patterns = append(res.Patterns, bestPattern)
+		selectedGraphs = append(selectedGraphs, bestPattern.Graph)
+		selectedSeen[canon.String(bestPattern.Graph)] = struct{}{}
+		sizeCount[bestPattern.Size()]++
+		ctx.UpdateWeights(bestPattern.Graph)
+	}
+	return res, nil
+}
+
+// openSizes returns the pattern sizes whose quota is not yet exhausted
+// (GetPatternSizeRange in Algorithm 4).
+func openSizes(b Budget, counts map[int]int) []int {
+	var out []int
+	for k := b.EtaMin; k <= b.EtaMax; k++ {
+		if counts[k] < b.quota(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// proposingCSGs returns the CSG indices allowed to propose candidates this
+// iteration: all of them, or the top-k by current cluster weight.
+func (ctx *Context) proposingCSGs(top int) []int {
+	idx := make([]int, len(ctx.CSGs))
+	for i := range idx {
+		idx[i] = i
+	}
+	if top <= 0 || top >= len(idx) {
+		return idx
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if ctx.cw[idx[a]] != ctx.cw[idx[b]] {
+			return ctx.cw[idx[a]] > ctx.cw[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	out := idx[:top]
+	sort.Ints(out)
+	return out
+}
+
+// isDuplicate reports whether p is isomorphic to a graph already recorded
+// under the same signature (signature equality is necessary for
+// isomorphism, so only those need the VF2 double-containment check).
+func isDuplicate(seen map[string][]*graph.Graph, p *graph.Graph) bool {
+	for _, q := range seen[p.Signature()] {
+		if subiso.Contains(q, p) && subiso.Contains(p, q) {
+			return true
+		}
+	}
+	return false
+}

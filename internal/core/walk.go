@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/csg"
+	"repro/internal/graph"
+)
+
+// EdgeWeights computes the weighted CSG of Algorithm 4 line 2: each closure
+// edge e gets w_e = lcov(e, D) × lcov(e, C), the product of global edge
+// label weight and local (within-cluster) coverage.
+func (ctx *Context) EdgeWeights(c *csg.CSG) map[graph.Edge]float64 {
+	w := make(map[graph.Edge]float64, len(c.EdgeGraphs))
+	members := float64(len(c.Members))
+	for e, ids := range c.EdgeGraphs {
+		label := c.G.EdgeLabel(e.U, e.V)
+		w[e] = ctx.elw[label] * float64(ids.Len()) / members
+	}
+	return w
+}
+
+// randomWalkPCP performs one weighted random walk on the CSG producing a
+// potential candidate pattern of up to eta edges: it starts at the seed
+// edge (largest weight) and repeatedly adds one candidate adjacent edge
+// (cae) chosen with probability proportional to its weight — the
+// probabilistic equivalent of the paper's LCM integer-replication step.
+func randomWalkPCP(c *csg.CSG, weights map[graph.Edge]float64, eta int, rng *rand.Rand) []graph.Edge {
+	seed, ok := maxWeightEdge(weights)
+	if !ok {
+		return nil
+	}
+	inPattern := map[graph.Edge]bool{seed: true}
+	vertices := map[graph.VertexID]bool{seed.U: true, seed.V: true}
+	pcp := []graph.Edge{seed}
+
+	for len(pcp) < eta {
+		caes := adjacentEdges(c, weights, inPattern, vertices)
+		if len(caes) == 0 {
+			break
+		}
+		e := weightedPick(caes, weights, rng)
+		inPattern[e] = true
+		vertices[e.U] = true
+		vertices[e.V] = true
+		pcp = append(pcp, e)
+	}
+	return pcp
+}
+
+// maxWeightEdge returns the largest-weight edge; ties break on the
+// canonical edge ordering so the seed is deterministic.
+func maxWeightEdge(weights map[graph.Edge]float64) (graph.Edge, bool) {
+	var best graph.Edge
+	bestW := -1.0
+	found := false
+	for e, w := range weights {
+		if w > bestW || (w == bestW && lessEdge(e, best)) {
+			best, bestW, found = e, w, true
+		}
+	}
+	return best, found
+}
+
+func lessEdge(a, b graph.Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
+// adjacentEdges collects candidate adjacent edges of the partial pattern:
+// closure edges sharing a vertex with the pattern, not yet chosen, with
+// positive weight.
+func adjacentEdges(c *csg.CSG, weights map[graph.Edge]float64, in map[graph.Edge]bool, vs map[graph.VertexID]bool) []graph.Edge {
+	var out []graph.Edge
+	seen := make(map[graph.Edge]bool)
+	for v := range vs {
+		for _, w := range c.G.Neighbors(v) {
+			e := graph.NewEdge(v, w)
+			if in[e] || seen[e] {
+				continue
+			}
+			seen[e] = true
+			if weights[e] > 0 {
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return lessEdge(out[i], out[j]) })
+	return out
+}
+
+// weightedPick samples one edge with probability proportional to weight.
+func weightedPick(es []graph.Edge, weights map[graph.Edge]float64, rng *rand.Rand) graph.Edge {
+	total := 0.0
+	for _, e := range es {
+		total += weights[e]
+	}
+	r := rng.Float64() * total
+	acc := 0.0
+	for _, e := range es {
+		acc += weights[e]
+		if r < acc+1e-15 {
+			return e
+		}
+	}
+	return es[len(es)-1]
+}
+
+// GenerateFCP derives the final candidate pattern of a CSG for one size:
+// Walks random walks populate the PCP library, then the FCP is grown from
+// the library's most frequent edge, at each step appending the most
+// frequent library edge connected to the partial FCP (Sec 5, Fig 6). The
+// returned edge set is materialized as a pattern graph; nil when the CSG
+// cannot produce a connected pattern of exactly eta edges.
+func (ctx *Context) GenerateFCP(c *csg.CSG, eta, walks int, rng *rand.Rand) *graph.Graph {
+	weights := ctx.EdgeWeights(c)
+	freq := make(map[graph.Edge]int)
+	for i := 0; i < walks; i++ {
+		for _, e := range randomWalkPCP(c, weights, eta, rng) {
+			freq[e]++
+		}
+	}
+	if len(freq) == 0 {
+		return nil
+	}
+
+	// First edge: most frequent in the library.
+	var first graph.Edge
+	bestF := -1
+	for e, f := range freq {
+		if f > bestF || (f == bestF && lessEdge(e, first)) {
+			first, bestF = e, f
+		}
+	}
+	in := map[graph.Edge]bool{first: true}
+	vs := map[graph.VertexID]bool{first.U: true, first.V: true}
+	fcp := []graph.Edge{first}
+	for len(fcp) < eta {
+		var next graph.Edge
+		nextF := 0
+		found := false
+		for v := range vs {
+			for _, w := range c.G.Neighbors(v) {
+				e := graph.NewEdge(v, w)
+				if in[e] {
+					continue
+				}
+				if f := freq[e]; f > nextF || (f == nextF && f > 0 && found && lessEdge(e, next)) {
+					next, nextF, found = e, f, true
+				}
+			}
+		}
+		if !found || nextF == 0 {
+			break
+		}
+		in[next] = true
+		vs[next.U] = true
+		vs[next.V] = true
+		fcp = append(fcp, next)
+	}
+	if len(fcp) != eta {
+		return nil
+	}
+	p, _ := c.G.EdgeSubgraph(fcp)
+	return p
+}
+
+// GenerateBFSCandidate is the DaVinci-style ablation generator [40]: a
+// deterministic greedy growth from the seed edge that always adds the
+// heaviest candidate adjacent edge. Compared to the random-walk FCP it
+// explores no alternative regions of the CSG, which the ablation bench
+// shows costs pattern diversity.
+func (ctx *Context) GenerateBFSCandidate(c *csg.CSG, eta int) *graph.Graph {
+	weights := ctx.EdgeWeights(c)
+	seed, ok := maxWeightEdge(weights)
+	if !ok {
+		return nil
+	}
+	in := map[graph.Edge]bool{seed: true}
+	vs := map[graph.VertexID]bool{seed.U: true, seed.V: true}
+	out := []graph.Edge{seed}
+	for len(out) < eta {
+		caes := adjacentEdges(c, weights, in, vs)
+		if len(caes) == 0 {
+			break
+		}
+		best := caes[0]
+		for _, e := range caes[1:] {
+			if weights[e] > weights[best] {
+				best = e
+			}
+		}
+		in[best] = true
+		vs[best.U] = true
+		vs[best.V] = true
+		out = append(out, best)
+	}
+	if len(out) != eta {
+		return nil
+	}
+	p, _ := c.G.EdgeSubgraph(out)
+	return p
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/freqmine"
+	"repro/internal/graph"
+	"repro/internal/queryform"
+)
+
+// Exp9 reproduces Fig 17 (comparison with frequent subgraph-based
+// patterns): CATAPULT vs gaston-style frequent pattern sets F(4%), F(8%),
+// F(12%) on the AIDS10K analog, over mixed workloads Qx with infrequent
+// fraction x ∈ {0, 0.1, 0.2, 0.3, 0.4}. Reported per workload: the average
+// μF = (stepF - stepP)/stepF against each baseline and the missed
+// percentage of every pattern source.
+func Exp9(cfg Config) *Report {
+	cfg.defaults()
+	rep := &Report{
+		ID:     "Exp9 (Fig 17)",
+		Title:  "CATAPULT vs frequent subgraph patterns",
+		Header: []string{"workload", "muF(4%)", "muF(8%)", "muF(12%)", "MP(CAT)", "MP(F4%)", "MP(F8%)", "MP(F12%)"},
+	}
+	db := aidsDB(cfg.scaled(10000), cfg.Seed)
+
+	// CATAPULT patterns: |P| = 30 over sizes [3, 12] as in the paper.
+	budget := core.Budget{EtaMin: 3, EtaMax: 12, Gamma: 30}
+	res, _, err := runPipeline(db, nil, budget, scaledSampling(), cfg.Seed)
+	if err != nil {
+		rep.AddNote("pipeline failed: %v", err)
+		return rep
+	}
+	cat := res.PatternGraphs()
+	rep.AddNote("CATAPULT avg div = %s", f2(core.AvgDiversity(cat)))
+
+	// Frequent baselines F(s). Supports are relative, so the paper's
+	// {4%, 8%, 12%} apply unchanged to the analog. The baseline miner's
+	// pattern size is capped at 6 edges for tractability — the
+	// high-support patterns that drive the comparison are small anyway.
+	supports := []float64{0.04, 0.08, 0.12}
+	baselines := make([][]*graph.Graph, len(supports))
+	for i, s := range supports {
+		baselines[i] = freqmine.SelectBaseline(db, s, 3, 6, 30)
+		rep.AddNote("F(%.0f%%): %d patterns, avg div = %s", s*100, len(baselines[i]),
+			f2(core.AvgDiversity(baselines[i])))
+	}
+
+	// Workloads Qx, |Qx| = 50 as in the paper, infrequency threshold 4%.
+	for _, x := range []float64{0, 0.1, 0.2, 0.3, 0.4} {
+		queries := dataset.MixedQueries(db, 50, x, 0.04, cfg.Seed+int64(100*x))
+		if len(queries) == 0 {
+			rep.AddNote("Q%.1f: workload generation produced no queries", x)
+			continue
+		}
+		catM := queryform.Evaluate(queries, cat, false)
+		row := []string{fmt.Sprintf("Q%.1f", x)}
+		var mps []string
+		for i := range supports {
+			fM := queryform.Evaluate(queries, baselines[i], false)
+			_, avgMuF := queryform.RelativeReduction(fM.Steps, catM.Steps)
+			row = append(row, f3(avgMuF))
+			mps = append(mps, pct(fM.MP))
+		}
+		row = append(row, pct(catM.MP))
+		row = append(row, mps...)
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.AddNote("paper shape: F wins at x=0 (all-frequent queries); CATAPULT overtakes by x=0.3; CATAPULT MP stays flat while F's grows with x")
+	return rep
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment.
+type Runner func(Config) *Report
+
+// Registry maps experiment numbers to their runners.
+var Registry = map[int]Runner{
+	1:  Exp1,
+	2:  Exp2,
+	3:  Exp3,
+	4:  Exp4,
+	5:  Exp5,
+	6:  Exp6,
+	7:  Exp7,
+	8:  Exp8,
+	9:  Exp9,
+	10: Exp10,
+}
+
+// Run executes experiment n.
+func Run(n int, cfg Config) (*Report, error) {
+	r, ok := Registry[n]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no experiment %d", n)
+	}
+	return r(cfg), nil
+}
+
+// RunAll executes every experiment in order.
+func RunAll(cfg Config) []*Report {
+	ids := make([]int, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]*Report, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, Registry[id](cfg))
+	}
+	return out
+}

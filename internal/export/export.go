@@ -1,0 +1,82 @@
+// Package export persists selection results: canned patterns with their
+// score breakdowns serialize to a versioned JSON document that GUIs and
+// downstream tools can load without re-running the pipeline.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// FormatVersion identifies the document schema.
+const FormatVersion = 1
+
+// Document is the serialized form of a pattern selection.
+type Document struct {
+	Version  int           `json:"version"`
+	Dataset  string        `json:"dataset"`
+	Patterns []PatternJSON `json:"patterns"`
+}
+
+// PatternJSON serializes one canned pattern.
+type PatternJSON struct {
+	Vertices []string `json:"vertices"` // labels by vertex id
+	Edges    [][2]int `json:"edges"`    // endpoint pairs
+	Score    float64  `json:"score"`
+	Ccov     float64  `json:"ccov"`
+	Lcov     float64  `json:"lcov"`
+	Div      float64  `json:"div"`
+	Cog      float64  `json:"cog"`
+}
+
+// Write serializes patterns to w.
+func Write(w io.Writer, dataset string, patterns []*core.Pattern) error {
+	doc := Document{Version: FormatVersion, Dataset: dataset}
+	for _, p := range patterns {
+		pj := PatternJSON{
+			Score: p.Score, Ccov: p.Ccov, Lcov: p.Lcov, Div: p.Div, Cog: p.Cog,
+		}
+		for v := 0; v < p.Graph.NumVertices(); v++ {
+			pj.Vertices = append(pj.Vertices, p.Graph.Label(graph.VertexID(v)))
+		}
+		for _, e := range p.Graph.Edges() {
+			pj.Edges = append(pj.Edges, [2]int{int(e.U), int(e.V)})
+		}
+		doc.Patterns = append(doc.Patterns, pj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Read parses a document and reconstructs the patterns.
+func Read(r io.Reader) (string, []*core.Pattern, error) {
+	var doc Document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return "", nil, fmt.Errorf("export: decode: %w", err)
+	}
+	if doc.Version != FormatVersion {
+		return "", nil, fmt.Errorf("export: unsupported version %d", doc.Version)
+	}
+	var out []*core.Pattern
+	for pi, pj := range doc.Patterns {
+		g := graph.New(len(pj.Vertices), len(pj.Edges))
+		for _, l := range pj.Vertices {
+			g.AddVertex(l)
+		}
+		for _, e := range pj.Edges {
+			if err := g.AddEdge(graph.VertexID(e[0]), graph.VertexID(e[1])); err != nil {
+				return "", nil, fmt.Errorf("export: pattern %d: %w", pi, err)
+			}
+		}
+		out = append(out, &core.Pattern{
+			Graph: g, Score: pj.Score,
+			Ccov: pj.Ccov, Lcov: pj.Lcov, Div: pj.Div, Cog: pj.Cog,
+		})
+	}
+	return doc.Dataset, out, nil
+}

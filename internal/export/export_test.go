@@ -1,0 +1,78 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func samplePatterns() []*core.Pattern {
+	g := graph.New(3, 2)
+	c := g.AddVertex("C")
+	o := g.AddVertex("O")
+	n := g.AddVertex("N")
+	g.MustAddEdge(c, o)
+	g.MustAddEdge(o, n)
+	return []*core.Pattern{{Graph: g, Score: 0.42, Ccov: 0.3, Lcov: 1, Div: 2, Cog: 1.33}}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, "mydb", samplePatterns()); err != nil {
+		t.Fatal(err)
+	}
+	name, ps, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "mydb" || len(ps) != 1 {
+		t.Fatalf("round trip lost metadata: %q %d", name, len(ps))
+	}
+	p := ps[0]
+	if p.Score != 0.42 || p.Ccov != 0.3 || p.Div != 2 {
+		t.Errorf("scores changed: %+v", p)
+	}
+	if p.Graph.NumVertices() != 3 || p.Graph.NumEdges() != 2 {
+		t.Errorf("graph changed: %v", p.Graph)
+	}
+	if p.Graph.Label(1) != "O" {
+		t.Errorf("labels changed")
+	}
+	if !p.Graph.HasEdge(0, 1) || !p.Graph.HasEdge(1, 2) {
+		t.Errorf("edges changed")
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	if _, _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, _, err := Read(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	bad := `{"version":1,"patterns":[{"vertices":["C"],"edges":[[0,5]]}]}`
+	if _, _, err := Read(strings.NewReader(bad)); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	dup := `{"version":1,"patterns":[{"vertices":["C","O"],"edges":[[0,1],[1,0]]}]}`
+	if _, _, err := Read(strings.NewReader(dup)); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestEmptySelection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	name, ps, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "empty" || len(ps) != 0 {
+		t.Errorf("empty round trip wrong: %q %d", name, len(ps))
+	}
+}

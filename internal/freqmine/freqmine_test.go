@@ -1,0 +1,267 @@
+package freqmine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/subiso"
+)
+
+func pathGraph(labels ...string) *graph.Graph {
+	g := graph.New(len(labels), len(labels)-1)
+	for _, l := range labels {
+		g.AddVertex(l)
+	}
+	for i := 1; i < len(labels); i++ {
+		g.MustAddEdge(graph.VertexID(i-1), graph.VertexID(i))
+	}
+	return g
+}
+
+func ring(n int) *graph.Graph {
+	g := graph.New(n, n)
+	for i := 0; i < n; i++ {
+		g.AddVertex("C")
+	}
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(graph.VertexID(i), graph.VertexID((i+1)%n))
+	}
+	return g
+}
+
+func testDB() *graph.DB {
+	gs := []*graph.Graph{
+		ring(6),
+		ring(6),
+		ring(5),
+		pathGraph("C", "O", "N"),
+		pathGraph("C", "O", "N"),
+		pathGraph("C", "O", "S"),
+	}
+	return graph.NewDB("fm", gs)
+}
+
+func TestFrequentEdgesLevel(t *testing.T) {
+	db := testDB()
+	edges := frequentEdges(db, 3)
+	// C-C in 3 graphs (rings); C-O in 3 graphs (paths). Both qualify.
+	if len(edges) != 2 {
+		t.Fatalf("frequent edges = %d, want 2", len(edges))
+	}
+	for _, p := range edges {
+		if len(p.Support) < 3 {
+			t.Errorf("support %d below threshold", len(p.Support))
+		}
+		if p.Graph.NumEdges() != 1 {
+			t.Errorf("level-1 pattern has %d edges", p.Graph.NumEdges())
+		}
+	}
+}
+
+func TestMineSupportsSound(t *testing.T) {
+	db := testDB()
+	ps := Mine(db, Options{MinSupport: 0.3, MaxEdges: 3})
+	if len(ps) == 0 {
+		t.Fatal("nothing mined")
+	}
+	for _, p := range ps {
+		if !p.Graph.IsConnected() {
+			t.Fatalf("disconnected pattern mined: %v", p.Graph)
+		}
+		for gi := 0; gi < db.Len(); gi++ {
+			want := subiso.Contains(db.Graph(gi), p.Graph)
+			got := false
+			for _, s := range p.Support {
+				if s == gi {
+					got = true
+				}
+			}
+			if want != got {
+				t.Errorf("pattern %v support for graph %d = %v, want %v", p.Graph, gi, got, want)
+			}
+		}
+	}
+}
+
+func TestMineFindsCycles(t *testing.T) {
+	// Rings require cycle-closing extensions; a 6-ring pattern of 6 edges
+	// should be minable from the ring family.
+	gs := []*graph.Graph{ring(6), ring(6), ring(6)}
+	db := graph.NewDB("rings", gs)
+	ps := Mine(db, Options{MinSupport: 0.9, MaxEdges: 6})
+	foundRing := false
+	for _, p := range ps {
+		if p.Graph.NumEdges() == 6 && p.Graph.NumVertices() == 6 {
+			foundRing = true
+		}
+	}
+	if !foundRing {
+		t.Error("6-ring not mined from ring database")
+	}
+}
+
+func TestMineNoDuplicates(t *testing.T) {
+	db := testDB()
+	ps := Mine(db, Options{MinSupport: 0.3, MaxEdges: 3})
+	for i := 0; i < len(ps); i++ {
+		for j := i + 1; j < len(ps); j++ {
+			a, b := ps[i].Graph, ps[j].Graph
+			if a.Signature() == b.Signature() && subiso.Contains(a, b) && subiso.Contains(b, a) {
+				t.Errorf("duplicate patterns %v and %v", a, b)
+			}
+		}
+	}
+}
+
+func TestMineRespectsMinSupport(t *testing.T) {
+	db := testDB()
+	minSup := 0.5
+	ps := Mine(db, Options{MinSupport: minSup, MaxEdges: 3})
+	for _, p := range ps {
+		if p.Frequency(db.Len()) < minSup {
+			t.Errorf("pattern %v frequency %v below %v", p.Graph, p.Frequency(db.Len()), minSup)
+		}
+	}
+}
+
+func TestMineBeamWidth(t *testing.T) {
+	db := testDB()
+	narrow := Mine(db, Options{MinSupport: 0.1, MaxEdges: 3, BeamWidth: 2})
+	bySize := map[int]int{}
+	for _, p := range narrow {
+		if p.Graph.NumEdges() > 1 {
+			bySize[p.Graph.NumEdges()]++
+		}
+	}
+	for size, c := range bySize {
+		if c > 2 {
+			t.Errorf("beam width violated at size %d: %d patterns", size, c)
+		}
+	}
+}
+
+func TestSelectBaselinePerSizeCap(t *testing.T) {
+	db := testDB()
+	// total=4 across sizes [3,4] → 2 per size.
+	out := SelectBaseline(db, 0.3, 3, 4, 4)
+	counts := map[int]int{}
+	for _, g := range out {
+		if g.NumEdges() < 3 || g.NumEdges() > 4 {
+			t.Errorf("baseline pattern size %d outside range", g.NumEdges())
+		}
+		counts[g.NumEdges()]++
+	}
+	for size, c := range counts {
+		if c > 2 {
+			t.Errorf("size %d has %d patterns, cap 2", size, c)
+		}
+	}
+	if len(out) > 4 {
+		t.Errorf("total %d exceeds budget", len(out))
+	}
+}
+
+func TestTopFrequentEdges(t *testing.T) {
+	db := testDB()
+	top := TopFrequentEdges(db, 1)
+	if len(top) != 1 {
+		t.Fatalf("got %d edges", len(top))
+	}
+	if top[0].NumEdges() != 1 {
+		t.Error("top edge is not a single edge")
+	}
+	// Asking for more than exist returns all.
+	all := TopFrequentEdges(db, 100)
+	if len(all) == 0 || len(all) > 100 {
+		t.Errorf("TopFrequentEdges(100) = %d", len(all))
+	}
+}
+
+func TestBasicPatterns(t *testing.T) {
+	db := testDB()
+	basics := BasicPatterns(db, 5)
+	if len(basics) == 0 {
+		t.Fatal("no basic patterns")
+	}
+	if len(basics) > 5 {
+		t.Fatalf("m not honored: %d", len(basics))
+	}
+	for _, b := range basics {
+		if b.NumEdges() < 1 || b.NumEdges() > 2 {
+			t.Errorf("basic pattern size %d outside [1,2]", b.NumEdges())
+		}
+	}
+	// The single most supported basic pattern must be an edge present in
+	// the majority of graphs (C-C or C-O each cover 3 of 6).
+	top := BasicPatterns(db, 1)[0]
+	hits := 0
+	for _, g := range db.Graphs {
+		if subiso.Contains(g, top) {
+			hits++
+		}
+	}
+	if hits < 3 {
+		t.Errorf("top basic pattern supported by only %d graphs", hits)
+	}
+}
+
+func TestBasicPatternsNoDuplicates(t *testing.T) {
+	db := testDB()
+	basics := BasicPatterns(db, 100)
+	for i := 0; i < len(basics); i++ {
+		for j := i + 1; j < len(basics); j++ {
+			a, b := basics[i], basics[j]
+			if a.Signature() == b.Signature() && subiso.Contains(a, b) && subiso.Contains(b, a) {
+				t.Errorf("duplicate basic patterns %v and %v", a, b)
+			}
+		}
+	}
+}
+
+func TestMineEmptyDB(t *testing.T) {
+	db := graph.NewDB("empty", nil)
+	if ps := Mine(db, Options{MinSupport: 0.5, MaxEdges: 3}); len(ps) != 0 {
+		t.Errorf("mined %d patterns from empty DB", len(ps))
+	}
+	if p := (&Pattern{}); p.Frequency(0) != 0 {
+		t.Error("frequency in empty DB should be 0")
+	}
+}
+
+func TestExtensionsCount(t *testing.T) {
+	p := pathGraph("C", "O")
+	exts := extensions(p, []string{"C", "N"})
+	// New-vertex: 2 vertices × 2 labels = 4. Cycle-closing: none (single
+	// edge already connects the only pair).
+	if len(exts) != 4 {
+		t.Errorf("extensions = %d, want 4", len(exts))
+	}
+	tri := pathGraph("C", "C", "C")
+	exts = extensions(tri, []string{"C"})
+	// New-vertex: 3; cycle closing: 1 (endpoints).
+	if len(exts) != 4 {
+		t.Errorf("extensions of path-3 = %d, want 4", len(exts))
+	}
+}
+
+func BenchmarkMineSmall(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var gs []*graph.Graph
+	for i := 0; i < 40; i++ {
+		n := 8 + rng.Intn(5)
+		g := graph.New(n, n)
+		for j := 0; j < n; j++ {
+			g.AddVertex([]string{"C", "N", "O"}[rng.Intn(3)])
+		}
+		for j := 1; j < n; j++ {
+			g.MustAddEdge(graph.VertexID(rng.Intn(j)), graph.VertexID(j))
+		}
+		gs = append(gs, g)
+	}
+	db := graph.NewDB("bench", gs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mine(db, Options{MinSupport: 0.2, MaxEdges: 3, BeamWidth: 50})
+	}
+}

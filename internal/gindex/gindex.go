@@ -1,0 +1,180 @@
+// Package gindex implements a filter-and-verify subgraph search index over
+// a graph database — the query primitive CATAPULT's interface serves
+// (Sec 1: retrieve the data graphs containing a user's subgraph query).
+//
+// The index follows the classic path-based design (GraphGrep/gIndex
+// family): every label path of length ≤ MaxPathLen occurring in a data
+// graph becomes a feature; a query's features prune the candidate set by
+// inverted-list intersection and the survivors are verified with VF2.
+// Path features are cheap to enumerate, anti-monotone (every feature of a
+// subgraph occurs in its supergraphs), and effective on labeled molecule-
+// like graphs.
+package gindex
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/subiso"
+)
+
+// DefaultMaxPathLen is the default maximum indexed path length (edges).
+const DefaultMaxPathLen = 3
+
+// Index is an immutable path-feature index over a database.
+type Index struct {
+	db         *graph.DB
+	maxPathLen int
+	// postings maps each path feature to the set of graphs containing it.
+	postings map[string]*bitset.Set
+}
+
+// Options configures index construction.
+type Options struct {
+	// MaxPathLen caps the indexed path length in edges (default 3).
+	MaxPathLen int
+}
+
+// Build constructs the index.
+func Build(db *graph.DB, opts Options) *Index {
+	maxLen := opts.MaxPathLen
+	if maxLen <= 0 {
+		maxLen = DefaultMaxPathLen
+	}
+	idx := &Index{
+		db:         db,
+		maxPathLen: maxLen,
+		postings:   make(map[string]*bitset.Set),
+	}
+	for gi, g := range db.Graphs {
+		for f := range pathFeatures(g, maxLen) {
+			s, ok := idx.postings[f]
+			if !ok {
+				s = bitset.New(db.Len())
+				idx.postings[f] = s
+			}
+			s.Add(gi)
+		}
+	}
+	return idx
+}
+
+// NumFeatures returns the number of distinct indexed features.
+func (idx *Index) NumFeatures() int { return len(idx.postings) }
+
+// pathFeatures enumerates the canonical label strings of all simple paths
+// of length 0..maxLen edges in g. A path's canonical string is the
+// lexicographically smaller of its two directions, so features are
+// orientation independent.
+func pathFeatures(g *graph.Graph, maxLen int) map[string]struct{} {
+	out := make(map[string]struct{})
+	n := g.NumVertices()
+	var labels []string
+	var visited []bool
+
+	var dfs func(v graph.VertexID, depth int)
+	dfs = func(v graph.VertexID, depth int) {
+		labels = append(labels, g.Label(v))
+		visited[v] = true
+		out[canonicalPath(labels)] = struct{}{}
+		if depth < maxLen {
+			for _, w := range g.Neighbors(v) {
+				if !visited[w] {
+					dfs(w, depth+1)
+				}
+			}
+		}
+		visited[v] = false
+		labels = labels[:len(labels)-1]
+	}
+	for v := 0; v < n; v++ {
+		visited = make([]bool, n)
+		dfs(graph.VertexID(v), 0)
+	}
+	return out
+}
+
+// canonicalPath returns min(fwd, rev) of the label sequence joined by "/".
+func canonicalPath(labels []string) string {
+	fwd := strings.Join(labels, "/")
+	rev := make([]string, len(labels))
+	for i, l := range labels {
+		rev[len(labels)-1-i] = l
+	}
+	bwd := strings.Join(rev, "/")
+	if bwd < fwd {
+		return bwd
+	}
+	return fwd
+}
+
+// Candidates returns the indices of data graphs that pass the feature
+// filter for query q (a superset of the true answer set).
+func (idx *Index) Candidates(q *graph.Graph) []int {
+	var acc *bitset.Set
+	for f := range pathFeatures(q, idx.maxPathLen) {
+		s, ok := idx.postings[f]
+		if !ok {
+			return nil // a query feature absent from every graph: no answers
+		}
+		if acc == nil {
+			acc = s.Clone()
+		} else {
+			acc.IntersectWith(s)
+		}
+		if acc.Count() == 0 {
+			return nil
+		}
+	}
+	if acc == nil {
+		// Query had no vertices; every graph trivially matches.
+		all := make([]int, idx.db.Len())
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return acc.Elements()
+}
+
+// Result is one subgraph-search answer.
+type Result struct {
+	GraphIndex int
+	// Embedding maps query vertices to data-graph vertices.
+	Embedding subiso.Mapping
+}
+
+// Search returns every data graph containing q, with one witness embedding
+// each, in ascending graph-index order.
+func (idx *Index) Search(q *graph.Graph) []Result {
+	var out []Result
+	for _, gi := range idx.Candidates(q) {
+		if m := subiso.FindOne(idx.db.Graph(gi), q); m != nil {
+			out = append(out, Result{GraphIndex: gi, Embedding: m})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].GraphIndex < out[j].GraphIndex })
+	return out
+}
+
+// Count returns |{G ∈ D : q ⊆ G}|.
+func (idx *Index) Count(q *graph.Graph) int {
+	n := 0
+	for _, gi := range idx.Candidates(q) {
+		if subiso.Contains(idx.db.Graph(gi), q) {
+			n++
+		}
+	}
+	return n
+}
+
+// FilterRatio reports the pruning power on a query: candidates / |D|
+// (lower is better). Returns 1 for an empty database.
+func (idx *Index) FilterRatio(q *graph.Graph) float64 {
+	if idx.db.Len() == 0 {
+		return 1
+	}
+	return float64(len(idx.Candidates(q))) / float64(idx.db.Len())
+}

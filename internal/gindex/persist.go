@@ -1,0 +1,100 @@
+package gindex
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// Index persistence: building a path index over a large repository is the
+// expensive part of subgraph search, so the postings can be saved and
+// reattached to the same database later. The text format is line oriented:
+//
+//	gindex <version> <maxPathLen> <dbLen>
+//	f <feature> <id> <id> ...
+//
+// Save/Load do not serialize the database itself — the caller must attach
+// the same database (same graph count and content) on load.
+
+const persistVersion = 1
+
+// Save writes the index postings to w.
+func (idx *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "gindex %d %d %d\n", persistVersion, idx.maxPathLen, idx.db.Len()); err != nil {
+		return err
+	}
+	features := make([]string, 0, len(idx.postings))
+	for f := range idx.postings {
+		features = append(features, f)
+	}
+	sort.Strings(features)
+	for _, f := range features {
+		if strings.ContainsAny(f, " \n") {
+			return fmt.Errorf("gindex: feature %q contains separator characters", f)
+		}
+		if _, err := fmt.Fprintf(bw, "f %s", f); err != nil {
+			return err
+		}
+		for _, id := range idx.postings[f].Elements() {
+			if _, err := fmt.Fprintf(bw, " %d", id); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads an index saved with Save and attaches it to db. It returns
+// an error if the header does not match the database size.
+func Load(r io.Reader, db *graph.DB) (*Index, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("gindex: empty input")
+	}
+	var version, maxLen, dbLen int
+	if _, err := fmt.Sscanf(sc.Text(), "gindex %d %d %d", &version, &maxLen, &dbLen); err != nil {
+		return nil, fmt.Errorf("gindex: bad header %q: %v", sc.Text(), err)
+	}
+	if version != persistVersion {
+		return nil, fmt.Errorf("gindex: unsupported version %d", version)
+	}
+	if dbLen != db.Len() {
+		return nil, fmt.Errorf("gindex: index built for %d graphs, database has %d", dbLen, db.Len())
+	}
+	idx := &Index{db: db, maxPathLen: maxLen, postings: make(map[string]*bitset.Set)}
+	line := 1
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] != "f" || len(fields) < 2 {
+			return nil, fmt.Errorf("gindex: line %d: malformed record", line)
+		}
+		s := bitset.New(db.Len())
+		for _, tok := range fields[2:] {
+			id, err := strconv.Atoi(tok)
+			if err != nil || id < 0 || id >= db.Len() {
+				return nil, fmt.Errorf("gindex: line %d: bad graph id %q", line, tok)
+			}
+			s.Add(id)
+		}
+		idx.postings[fields[1]] = s
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}

@@ -1,0 +1,71 @@
+package gindex
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := dataset.EMolLike(12, 21)
+	idx := Build(db, Options{MaxPathLen: 2})
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumFeatures() != idx.NumFeatures() {
+		t.Fatalf("features changed: %d vs %d", back.NumFeatures(), idx.NumFeatures())
+	}
+	// Loaded index must answer identically.
+	qs := dataset.Queries(db, 1, 4, 4, 31)
+	if len(qs) == 0 {
+		t.Fatal("no query")
+	}
+	q := qs[0]
+	a := idx.Search(q)
+	b := back.Search(q)
+	if len(a) != len(b) {
+		t.Fatalf("result counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].GraphIndex != b[i].GraphIndex {
+			t.Errorf("result %d differs", i)
+		}
+	}
+}
+
+func TestLoadRejectsMismatchedDB(t *testing.T) {
+	db := dataset.EMolLike(10, 23)
+	idx := Build(db, Options{})
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := dataset.EMolLike(11, 23)
+	if _, err := Load(&buf, other); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	db := dataset.EMolLike(3, 25)
+	cases := []string{
+		"",
+		"not a header\n",
+		"gindex 99 3 3\n",
+		"gindex 1 3 3\nx bad record\n",
+		"gindex 1 3 3\nf C/O abc\n",
+		"gindex 1 3 3\nf C/O 99\n",
+	}
+	for i, in := range cases {
+		if _, err := Load(strings.NewReader(in), db); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

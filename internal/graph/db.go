@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// DB is a graph database: an ordered collection of data graphs, each with a
+// unique index (its position). It corresponds to the paper's D.
+type DB struct {
+	Name   string
+	Graphs []*Graph
+}
+
+// NewDB builds a database from the given graphs, assigning sequential IDs.
+func NewDB(name string, gs []*Graph) *DB {
+	db := &DB{Name: name, Graphs: gs}
+	for i, g := range gs {
+		g.ID = i
+	}
+	return db
+}
+
+// Len returns |D|.
+func (db *DB) Len() int { return len(db.Graphs) }
+
+// Graph returns the data graph with index i.
+func (db *DB) Graph(i int) *Graph { return db.Graphs[i] }
+
+// Subset returns a new database holding the graphs with the given indices.
+// Graph IDs are preserved (they still refer to positions in the parent), so
+// coverage statistics computed on a sample remain attributable.
+func (db *DB) Subset(name string, idx []int) *DB {
+	gs := make([]*Graph, 0, len(idx))
+	for _, i := range idx {
+		gs = append(gs, db.Graphs[i])
+	}
+	return &DB{Name: name, Graphs: gs}
+}
+
+// VertexLabelSet returns the set of distinct vertex labels across the
+// database, sorted.
+func (db *DB) VertexLabelSet() []string {
+	set := make(map[string]struct{})
+	for _, g := range db.Graphs {
+		for v := 0; v < g.NumVertices(); v++ {
+			set[g.Label(VertexID(v))] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EdgeLabelSet returns the set of distinct (derived) edge labels across the
+// database, sorted.
+func (db *DB) EdgeLabelSet() []string {
+	set := make(map[string]struct{})
+	for _, g := range db.Graphs {
+		for _, e := range g.Edges() {
+			set[g.EdgeLabel(e.U, e.V)] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EdgeLabelSupport returns, for every edge label, the number of data graphs
+// containing at least one edge with that label: |L(e, D)| in the paper's
+// label-coverage definition.
+func (db *DB) EdgeLabelSupport() map[string]int {
+	sup := make(map[string]int)
+	for _, g := range db.Graphs {
+		seen := make(map[string]struct{})
+		for _, e := range g.Edges() {
+			seen[g.EdgeLabel(e.U, e.V)] = struct{}{}
+		}
+		for l := range seen {
+			sup[l]++
+		}
+	}
+	return sup
+}
+
+// Stats summarizes a database for reporting.
+type Stats struct {
+	NumGraphs    int
+	AvgVertices  float64
+	AvgEdges     float64
+	MaxVertices  int
+	MaxEdges     int
+	VertexLabels int
+	EdgeLabels   int
+}
+
+// ComputeStats computes summary statistics of the database.
+func (db *DB) ComputeStats() Stats {
+	s := Stats{NumGraphs: len(db.Graphs)}
+	if len(db.Graphs) == 0 {
+		return s
+	}
+	var sv, se int
+	for _, g := range db.Graphs {
+		nv, ne := g.NumVertices(), g.NumEdges()
+		sv += nv
+		se += ne
+		if nv > s.MaxVertices {
+			s.MaxVertices = nv
+		}
+		if ne > s.MaxEdges {
+			s.MaxEdges = ne
+		}
+	}
+	s.AvgVertices = float64(sv) / float64(len(db.Graphs))
+	s.AvgEdges = float64(se) / float64(len(db.Graphs))
+	s.VertexLabels = len(db.VertexLabelSet())
+	s.EdgeLabels = len(db.EdgeLabelSet())
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("graphs=%d avg|V|=%.1f avg|E|=%.1f max|V|=%d max|E|=%d vlabels=%d elabels=%d",
+		s.NumGraphs, s.AvgVertices, s.AvgEdges, s.MaxVertices, s.MaxEdges, s.VertexLabels, s.EdgeLabels)
+}
+
+// RandomConnectedSubgraph extracts a connected subgraph of g with exactly
+// size edges via a random edge-growth walk, as used to generate subgraph
+// query workloads (Sec 6.1). It returns nil if g has fewer than size edges
+// or the walk cannot reach the requested size.
+func RandomConnectedSubgraph(g *Graph, size int, rng *rand.Rand) *Graph {
+	if size <= 0 || g.NumEdges() < size {
+		return nil
+	}
+	return RandomConnectedSubgraphFrom(g, g.Edges()[rng.Intn(g.NumEdges())], size, rng)
+}
+
+// RandomConnectedSubgraphFrom grows a connected subgraph of exactly size
+// edges starting from the given seed edge. Used to bias query workloads
+// toward chosen regions (e.g. rare-label neighborhoods for infrequent
+// query generation). Returns nil when the growth cannot reach size.
+func RandomConnectedSubgraphFrom(g *Graph, start Edge, size int, rng *rand.Rand) *Graph {
+	if size <= 0 || g.NumEdges() < size {
+		return nil
+	}
+	inV := map[VertexID]struct{}{start.U: {}, start.V: {}}
+	inE := map[Edge]struct{}{start: {}}
+	picked := []Edge{start}
+	for len(picked) < size {
+		// Collect frontier edges: incident to the current vertex set and
+		// not yet chosen.
+		var frontier []Edge
+		for v := range inV {
+			for _, w := range g.Neighbors(v) {
+				e := NewEdge(v, w)
+				if _, ok := inE[e]; !ok {
+					frontier = append(frontier, e)
+				}
+			}
+		}
+		if len(frontier) == 0 {
+			return nil
+		}
+		sort.Slice(frontier, func(i, j int) bool {
+			if frontier[i].U != frontier[j].U {
+				return frontier[i].U < frontier[j].U
+			}
+			return frontier[i].V < frontier[j].V
+		})
+		e := frontier[rng.Intn(len(frontier))]
+		inE[e] = struct{}{}
+		inV[e.U] = struct{}{}
+		inV[e.V] = struct{}{}
+		picked = append(picked, e)
+	}
+	sub, _ := g.EdgeSubgraph(picked)
+	return sub
+}

@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func smallDB(t *testing.T) *DB {
+	t.Helper()
+	g1 := New(3, 2)
+	c := g1.AddVertex("C")
+	o := g1.AddVertex("O")
+	n := g1.AddVertex("N")
+	g1.MustAddEdge(c, o)
+	g1.MustAddEdge(c, n)
+
+	g2 := New(3, 3)
+	a := g2.AddVertex("C")
+	b := g2.AddVertex("O")
+	d := g2.AddVertex("S")
+	g2.MustAddEdge(a, b)
+	g2.MustAddEdge(b, d)
+	g2.MustAddEdge(d, a)
+
+	return NewDB("test", []*Graph{g1, g2})
+}
+
+func TestNewDBAssignsIDs(t *testing.T) {
+	db := smallDB(t)
+	for i, g := range db.Graphs {
+		if g.ID != i {
+			t.Errorf("graph %d has ID %d", i, g.ID)
+		}
+	}
+}
+
+func TestLabelSets(t *testing.T) {
+	db := smallDB(t)
+	vl := db.VertexLabelSet()
+	want := []string{"C", "N", "O", "S"}
+	if len(vl) != len(want) {
+		t.Fatalf("vertex labels = %v, want %v", vl, want)
+	}
+	for i := range want {
+		if vl[i] != want[i] {
+			t.Fatalf("vertex labels = %v, want %v", vl, want)
+		}
+	}
+	el := db.EdgeLabelSet()
+	// g1: C-O, C-N; g2: C-O, O-S, C-S → distinct: C-N, C-O, C-S, O-S
+	if len(el) != 4 {
+		t.Fatalf("edge labels = %v, want 4 distinct", el)
+	}
+}
+
+func TestEdgeLabelSupport(t *testing.T) {
+	db := smallDB(t)
+	sup := db.EdgeLabelSupport()
+	if sup["C-O"] != 2 {
+		t.Errorf("support(C-O) = %d, want 2", sup["C-O"])
+	}
+	if sup["C-N"] != 1 {
+		t.Errorf("support(C-N) = %d, want 1", sup["C-N"])
+	}
+}
+
+func TestSubsetPreservesIDs(t *testing.T) {
+	db := smallDB(t)
+	sub := db.Subset("sub", []int{1})
+	if sub.Len() != 1 {
+		t.Fatalf("subset len = %d", sub.Len())
+	}
+	if sub.Graph(0).ID != 1 {
+		t.Errorf("subset graph ID = %d, want 1 (preserved)", sub.Graph(0).ID)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	db := smallDB(t)
+	s := db.ComputeStats()
+	if s.NumGraphs != 2 || s.MaxVertices != 3 || s.MaxEdges != 3 {
+		t.Errorf("stats wrong: %+v", s)
+	}
+	if s.AvgEdges != 2.5 {
+		t.Errorf("AvgEdges = %v, want 2.5", s.AvgEdges)
+	}
+	if !strings.Contains(s.String(), "graphs=2") {
+		t.Errorf("stats string: %s", s)
+	}
+	empty := NewDB("e", nil)
+	if es := empty.ComputeStats(); es.NumGraphs != 0 {
+		t.Errorf("empty stats: %+v", es)
+	}
+}
+
+func TestRoundTripIO(t *testing.T) {
+	db := smallDB(t)
+	_ = db.Graph(0).SetEdgeLabel(0, 1, "dbl")
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, "back")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("round trip len = %d, want %d", back.Len(), db.Len())
+	}
+	for i := range db.Graphs {
+		a, b := db.Graph(i), back.Graph(i)
+		if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+			t.Errorf("graph %d size changed", i)
+		}
+		for v := 0; v < a.NumVertices(); v++ {
+			if a.Label(VertexID(v)) != b.Label(VertexID(v)) {
+				t.Errorf("graph %d vertex %d label changed", i, v)
+			}
+		}
+	}
+	if back.Graph(0).EdgeLabel(0, 1) != "dbl" {
+		t.Error("explicit edge label lost in round trip")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"vertex before header", "v 0 C\n"},
+		{"edge before header", "e 0 1\n"},
+		{"bad vertex id", "t # 0\nv x C\n"},
+		{"out of order vertex", "t # 0\nv 1 C\n"},
+		{"short vertex line", "t # 0\nv 0\n"},
+		{"short edge line", "t # 0\nv 0 C\ne 0\n"},
+		{"bad edge endpoint", "t # 0\nv 0 C\nv 1 C\ne 0 z\n"},
+		{"unknown record", "t # 0\nx 1 2\n"},
+		{"edge out of range", "t # 0\nv 0 C\ne 0 5\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Read(strings.NewReader(tc.in), "bad"); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header comment\n\nt # 0\nv 0 C\nv 1 O\n\n# mid comment\ne 0 1\n"
+	db, err := Read(strings.NewReader(in), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 1 || db.Graph(0).NumEdges() != 1 {
+		t.Errorf("parsed wrong: %v", db.Graph(0))
+	}
+}
+
+func TestRandomConnectedSubgraphFromDB(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	db := smallDB(t)
+	q := RandomConnectedSubgraph(db.Graph(1), 2, rng)
+	if q == nil || !q.IsConnected() || q.NumEdges() != 2 {
+		t.Fatalf("query extraction failed: %v", q)
+	}
+}

@@ -1,0 +1,34 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format, for visual inspection
+// of mined patterns and queries (the paper's subject is, after all, a
+// visual interface).
+func WriteDOT(w io.Writer, g *Graph, name string) error {
+	if name == "" {
+		name = fmt.Sprintf("G%d", g.ID)
+	}
+	if _, err := fmt.Fprintf(w, "graph %q {\n  node [shape=circle];\n", name); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q];\n", v, g.Label(VertexID(v))); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		if l, ok := g.edgeLabel[e]; ok {
+			if _, err := fmt.Fprintf(w, "  n%d -- n%d [label=%q];\n", e.U, e.V, l); err != nil {
+				return err
+			}
+		} else if _, err := fmt.Fprintf(w, "  n%d -- n%d;\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,44 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := New(3, 2)
+	c := g.AddVertex("C")
+	o := g.AddVertex("O")
+	n := g.AddVertex("N")
+	g.MustAddEdge(c, o)
+	g.MustAddEdge(o, n)
+	_ = g.SetEdgeLabel(c, o, "double")
+
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, "mol"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`graph "mol"`, `n0 [label="C"]`, `n1 [label="O"]`, `n2 [label="N"]`,
+		`n0 -- n1 [label="double"]`, `n1 -- n2;`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTDefaultName(t *testing.T) {
+	g := New(1, 0)
+	g.AddVertex("C")
+	g.ID = 7
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `graph "G7"`) {
+		t.Errorf("default name missing: %s", buf.String())
+	}
+}

@@ -1,0 +1,275 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// triangle builds a labeled triangle C-O-N.
+func triangle(t *testing.T) *Graph {
+	t.Helper()
+	g := New(3, 3)
+	c := g.AddVertex("C")
+	o := g.AddVertex("O")
+	n := g.AddVertex("N")
+	g.MustAddEdge(c, o)
+	g.MustAddEdge(o, n)
+	g.MustAddEdge(n, c)
+	return g
+}
+
+func TestNewEdgeCanonical(t *testing.T) {
+	if NewEdge(3, 1) != (Edge{U: 1, V: 3}) {
+		t.Fatalf("NewEdge(3,1) = %v, want {1 3}", NewEdge(3, 1))
+	}
+	if NewEdge(1, 3) != NewEdge(3, 1) {
+		t.Fatal("edge canonicalization not symmetric")
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := NewEdge(2, 5)
+	if e.Other(2) != 5 || e.Other(5) != 2 {
+		t.Fatalf("Other endpoints wrong: %d, %d", e.Other(2), e.Other(5))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other on non-endpoint did not panic")
+		}
+	}()
+	e.Other(7)
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(2, 1)
+	a := g.AddVertex("A")
+	b := g.AddVertex("B")
+	if err := g.AddEdge(a, a); err == nil {
+		t.Error("self loop accepted")
+	}
+	if err := g.AddEdge(a, 99); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	if err := g.AddEdge(b, a); err == nil {
+		t.Error("duplicate (reversed) edge accepted")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(4, 3)
+	v0 := g.AddVertex("A")
+	v1 := g.AddVertex("B")
+	v2 := g.AddVertex("C")
+	v3 := g.AddVertex("D")
+	g.MustAddEdge(v0, v3)
+	g.MustAddEdge(v0, v1)
+	g.MustAddEdge(v0, v2)
+	nb := g.Neighbors(v0)
+	for i := 1; i < len(nb); i++ {
+		if nb[i-1] >= nb[i] {
+			t.Fatalf("neighbors not sorted: %v", nb)
+		}
+	}
+	if g.Degree(v0) != 3 || g.MaxDegree() != 3 {
+		t.Fatalf("degree bookkeeping wrong: deg=%d max=%d", g.Degree(v0), g.MaxDegree())
+	}
+}
+
+func TestEdgeLabelDerivation(t *testing.T) {
+	g := triangle(t)
+	if got := g.EdgeLabel(0, 1); got != "C-O" {
+		t.Errorf("EdgeLabel(C,O) = %q, want C-O", got)
+	}
+	if got := g.EdgeLabel(1, 0); got != "C-O" {
+		t.Errorf("edge label should be direction independent, got %q", got)
+	}
+	if err := g.SetEdgeLabel(0, 1, "double"); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.EdgeLabel(1, 0); got != "double" {
+		t.Errorf("explicit edge label not returned, got %q", got)
+	}
+	if err := g.SetEdgeLabel(0, 99, "x"); err == nil {
+		t.Error("SetEdgeLabel on missing edge accepted")
+	}
+}
+
+func TestDensityAndCognitiveLoad(t *testing.T) {
+	g := triangle(t)
+	if got := g.Density(); got != 1.0 {
+		t.Errorf("triangle density = %v, want 1", got)
+	}
+	if got := g.CognitiveLoad(); got != 3.0 {
+		t.Errorf("triangle cog = %v, want 3", got)
+	}
+	// 3-path: |V|=3, |E|=2, rho = 2*2/(3*2) = 2/3, cog = 4/3.
+	p := New(3, 2)
+	a := p.AddVertex("C")
+	b := p.AddVertex("C")
+	c := p.AddVertex("C")
+	p.MustAddEdge(a, b)
+	p.MustAddEdge(b, c)
+	if got, want := p.CognitiveLoad(), 4.0/3.0; got < want-1e-12 || got > want+1e-12 {
+		t.Errorf("path cog = %v, want %v", got, want)
+	}
+	single := New(1, 0)
+	single.AddVertex("C")
+	if single.Density() != 0 {
+		t.Error("singleton density should be 0")
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	g := triangle(t)
+	if !g.IsConnected() {
+		t.Error("triangle should be connected")
+	}
+	g.AddVertex("S")
+	if g.IsConnected() {
+		t.Error("isolated vertex should disconnect the graph")
+	}
+	comps := g.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if len(comps[0])+len(comps[1]) != 4 {
+		t.Errorf("component vertex counts wrong: %v", comps)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := triangle(t)
+	sub, orig := g.InducedSubgraph([]VertexID{0, 1})
+	if sub.NumVertices() != 2 || sub.NumEdges() != 1 {
+		t.Fatalf("induced subgraph wrong: %v", sub)
+	}
+	if len(orig) != 2 || orig[0] != 0 || orig[1] != 1 {
+		t.Errorf("orig mapping wrong: %v", orig)
+	}
+	if sub.Label(0) != "C" || sub.Label(1) != "O" {
+		t.Errorf("labels not carried over: %s %s", sub.Label(0), sub.Label(1))
+	}
+	// Duplicate input vertices are deduplicated.
+	sub2, _ := g.InducedSubgraph([]VertexID{0, 0, 1})
+	if sub2.NumVertices() != 2 {
+		t.Errorf("duplicate vertices not deduplicated: %d", sub2.NumVertices())
+	}
+}
+
+func TestEdgeSubgraph(t *testing.T) {
+	g := triangle(t)
+	sub, orig := g.EdgeSubgraph([]Edge{NewEdge(0, 1), NewEdge(1, 2)})
+	if sub.NumVertices() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("edge subgraph wrong: V=%d E=%d", sub.NumVertices(), sub.NumEdges())
+	}
+	if len(orig) != 3 {
+		t.Errorf("orig mapping wrong: %v", orig)
+	}
+	if !sub.IsConnected() {
+		t.Error("edge subgraph of a path should be connected")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := triangle(t)
+	_ = g.SetEdgeLabel(0, 1, "dbl")
+	c := g.Clone()
+	c.SetLabel(0, "X")
+	c.AddVertex("Y")
+	if g.Label(0) != "C" {
+		t.Error("clone shares label storage")
+	}
+	if g.NumVertices() != 3 {
+		t.Error("clone shares vertex storage")
+	}
+	if c.EdgeLabel(0, 1) != "dbl" {
+		t.Error("clone lost explicit edge labels")
+	}
+}
+
+func TestSignature(t *testing.T) {
+	a := triangle(t)
+	b := triangle(t)
+	if a.Signature() != b.Signature() {
+		t.Error("identical graphs have different signatures")
+	}
+	b.SetLabel(0, "S")
+	if a.Signature() == b.Signature() {
+		t.Error("relabeled graph has same signature")
+	}
+}
+
+func TestRandomConnectedSubgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := triangle(t)
+	for i := 0; i < 20; i++ {
+		sub := RandomConnectedSubgraph(g, 2, rng)
+		if sub == nil {
+			t.Fatal("subgraph of feasible size is nil")
+		}
+		if sub.NumEdges() != 2 {
+			t.Fatalf("size = %d, want 2", sub.NumEdges())
+		}
+		if !sub.IsConnected() {
+			t.Fatal("random subgraph not connected")
+		}
+	}
+	if RandomConnectedSubgraph(g, 4, rng) != nil {
+		t.Error("oversize request should return nil")
+	}
+	if RandomConnectedSubgraph(g, 0, rng) != nil {
+		t.Error("zero-size request should return nil")
+	}
+}
+
+func TestRandomConnectedSubgraphProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Property: any requested size <= |E| on a connected graph yields a
+	// connected subgraph with exactly that many edges.
+	f := func(seed int64, sizeRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(r, 12, 18)
+		size := int(sizeRaw)%g.NumEdges() + 1
+		sub := RandomConnectedSubgraph(g, size, rng)
+		return sub != nil && sub.NumEdges() == size && sub.IsConnected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomConnectedGraph builds a random connected labeled graph for property
+// tests: a random spanning tree plus extra edges.
+func randomConnectedGraph(r *rand.Rand, n, m int) *Graph {
+	labels := []string{"C", "N", "O", "S"}
+	g := New(n, m)
+	for i := 0; i < n; i++ {
+		g.AddVertex(labels[r.Intn(len(labels))])
+	}
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(VertexID(r.Intn(i)), VertexID(i))
+	}
+	for tries := 0; g.NumEdges() < m && tries < 10*m; tries++ {
+		u, v := VertexID(r.Intn(n)), VertexID(r.Intn(n))
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestStringRendering(t *testing.T) {
+	g := triangle(t)
+	s := g.String()
+	if !strings.Contains(s, "V=3") || !strings.Contains(s, "E=3") {
+		t.Errorf("String() missing size info: %s", s)
+	}
+}

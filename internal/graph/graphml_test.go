@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestWriteGraphML(t *testing.T) {
+	g := New(3, 2)
+	c := g.AddVertex("C")
+	o := g.AddVertex("O")
+	n := g.AddVertex("N")
+	g.MustAddEdge(c, o)
+	g.MustAddEdge(o, n)
+	_ = g.SetEdgeLabel(c, o, "double")
+	db := NewDB("ml", []*Graph{g})
+
+	var buf bytes.Buffer
+	if err := WriteGraphML(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"graphml", `edgedefault="undirected"`, `id="g0_n0"`,
+		">C</data>", ">O</data>", ">N</data>", ">double</data>",
+		`source="g0_n0"`, `target="g0_n1"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("GraphML missing %q", want)
+		}
+	}
+	// Must be well-formed XML.
+	var doc struct{}
+	if err := xml.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid XML: %v", err)
+	}
+}
+
+func TestWriteGraphMLMultipleGraphs(t *testing.T) {
+	db := smallDB(t)
+	var buf bytes.Buffer
+	if err := WriteGraphML(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `id="g0"`) || !strings.Contains(out, `id="g1"`) {
+		t.Error("missing per-graph elements")
+	}
+}
+
+func FuzzRead(f *testing.F) {
+	f.Add("t # 0\nv 0 C\nv 1 O\ne 0 1\n")
+	f.Add("t # 0\nv 0 C\ne 0 0\n")
+	f.Add("# comment only\n")
+	f.Add("t # 0\nv 0 C\nv 1 O\ne 0 1 double\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		// Read must never panic; errors are fine.
+		db, err := Read(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return
+		}
+		// Whatever parses must round-trip loss-free.
+		var buf bytes.Buffer
+		if err := Write(&buf, db); err != nil {
+			t.Fatalf("write after read failed: %v", err)
+		}
+		back, err := Read(&buf, "fuzz2")
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if back.Len() != db.Len() {
+			t.Fatalf("round trip changed graph count: %d vs %d", back.Len(), db.Len())
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The text format is a line-oriented transaction format close to the one
+// used by gSpan/gaston tooling:
+//
+//	t # <id>            start of graph <id>
+//	v <vid> <label>     vertex
+//	e <u> <v> [label]   undirected edge, optional explicit label
+//	# ...               comment
+//
+// Graphs are separated by their "t" headers; vertex IDs within a graph must
+// be 0..n-1 in order.
+
+// Write serializes the database in transaction text format.
+func Write(w io.Writer, db *DB) error {
+	bw := bufio.NewWriter(w)
+	for _, g := range db.Graphs {
+		if err := WriteGraph(bw, g); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteGraph serializes a single graph in transaction text format.
+func WriteGraph(w io.Writer, g *Graph) error {
+	if _, err := fmt.Fprintf(w, "t # %d\n", g.ID); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if _, err := fmt.Fprintf(w, "v %d %s\n", v, g.Label(VertexID(v))); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		if l, ok := g.edgeLabel[e]; ok {
+			if _, err := fmt.Fprintf(w, "e %d %d %s\n", e.U, e.V, l); err != nil {
+				return err
+			}
+		} else if _, err := fmt.Fprintf(w, "e %d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read parses a database from transaction text format.
+func Read(r io.Reader, name string) (*DB, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var graphs []*Graph
+	var cur *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "t":
+			cur = New(16, 16)
+			graphs = append(graphs, cur)
+		case "v":
+			if cur == nil {
+				return nil, fmt.Errorf("graph: line %d: vertex before graph header", line)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed vertex line %q", line, text)
+			}
+			var vid int
+			if _, err := fmt.Sscanf(fields[1], "%d", &vid); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex id: %v", line, err)
+			}
+			if vid != cur.NumVertices() {
+				return nil, fmt.Errorf("graph: line %d: vertex id %d out of order (want %d)", line, vid, cur.NumVertices())
+			}
+			cur.AddVertex(fields[2])
+		case "e":
+			if cur == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before graph header", line)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed edge line %q", line, text)
+			}
+			var u, v int
+			if _, err := fmt.Sscanf(fields[1], "%d", &u); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge endpoint: %v", line, err)
+			}
+			if _, err := fmt.Sscanf(fields[2], "%d", &v); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge endpoint: %v", line, err)
+			}
+			if err := cur.AddEdge(VertexID(u), VertexID(v)); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			if len(fields) >= 4 {
+				if err := cur.SetEdgeLabel(VertexID(u), VertexID(v), fields[3]); err != nil {
+					return nil, fmt.Errorf("graph: line %d: %v", line, err)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewDB(name, graphs), nil
+}

@@ -1,0 +1,103 @@
+// Package guimodel encodes the canned-pattern inventories of the two
+// commercial visual graph query interfaces the paper compares against in
+// Exp 3 and Exp 4: PubChem's structure sketcher (12 patterns of size 3-8)
+// and eMolecules' (6 patterns of size 3-8). Following Sec 6.2, the
+// patterns are unlabeled (the paper notes 11 of PubChem's 12 carry no
+// vertex labels; the evaluation's relabeling protocol assigns every
+// pattern vertex a common label regardless, so the model treats all of
+// them as unlabeled — the favorable-to-the-GUI assumption the paper makes
+// explicit). Use queryform.StepsUnlabeled with these sets.
+package guimodel
+
+import "repro/internal/graph"
+
+// placeholder is the label carried by unlabeled pattern vertices; the
+// unlabeled cost model replaces it before matching.
+const placeholder = "*"
+
+// Ring returns an unlabeled n-cycle (n >= 3).
+func Ring(n int) *graph.Graph {
+	g := graph.New(n, n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(placeholder)
+	}
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(graph.VertexID(i), graph.VertexID((i+1)%n))
+	}
+	return g
+}
+
+// Chain returns an unlabeled path with n edges.
+func Chain(n int) *graph.Graph {
+	g := graph.New(n+1, n)
+	for i := 0; i <= n; i++ {
+		g.AddVertex(placeholder)
+	}
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(graph.VertexID(i), graph.VertexID(i+1))
+	}
+	return g
+}
+
+// Star returns an unlabeled star with n leaves (n edges).
+func Star(n int) *graph.Graph {
+	g := graph.New(n+1, n)
+	c := g.AddVertex(placeholder)
+	for i := 0; i < n; i++ {
+		v := g.AddVertex(placeholder)
+		g.MustAddEdge(c, v)
+	}
+	return g
+}
+
+// RingWithPendant returns an n-cycle with one extra pendant vertex
+// (n+1 edges).
+func RingWithPendant(n int) *graph.Graph {
+	g := Ring(n)
+	v := g.AddVertex(placeholder)
+	g.MustAddEdge(0, v)
+	return g
+}
+
+// FusedRings returns two rings of sizes a and b sharing one edge
+// (a+b-1 edges).
+func FusedRings(a, b int) *graph.Graph {
+	g := Ring(a)
+	// Shared edge is (0, 1); add b-2 new vertices closing the second ring.
+	prev := graph.VertexID(1)
+	for i := 0; i < b-2; i++ {
+		v := g.AddVertex(placeholder)
+		g.MustAddEdge(prev, v)
+		prev = v
+	}
+	g.MustAddEdge(prev, 0)
+	return g
+}
+
+// PubChemPatterns returns the 12-pattern model of the PubChem sketcher,
+// sizes 3-8: the ring templates 3-8, short chains, a branch star, a
+// substituted ring and a fused-ring template.
+func PubChemPatterns() []*graph.Graph {
+	return []*graph.Graph{
+		Ring(3),            // size 3
+		Ring(4),            // size 4
+		Ring(5),            // size 5
+		Ring(6),            // size 6 (benzene template)
+		Ring(7),            // size 7
+		Ring(8),            // size 8
+		Chain(3),           // size 3
+		Chain(5),           // size 5
+		Star(3),            // size 3
+		RingWithPendant(6), // size 7 (toluene-like skeleton)
+		FusedRings(3, 4),   // size 6 (bicyclic template)
+		FusedRings(4, 5),   // size 8
+	}
+}
+
+// EMolPatterns returns the 6-pattern model of the eMolecules sketcher:
+// the ring templates of sizes 3-8.
+func EMolPatterns() []*graph.Graph {
+	return []*graph.Graph{
+		Ring(3), Ring(4), Ring(5), Ring(6), Ring(7), Ring(8),
+	}
+}

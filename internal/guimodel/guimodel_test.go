@@ -1,0 +1,100 @@
+package guimodel
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/subiso"
+)
+
+func TestPubChemInventory(t *testing.T) {
+	ps := PubChemPatterns()
+	if len(ps) != 12 {
+		t.Fatalf("PubChem model has %d patterns, want 12", len(ps))
+	}
+	for i, p := range ps {
+		if p.NumEdges() < 3 || p.NumEdges() > 8 {
+			t.Errorf("pattern %d size %d outside [3,8]", i, p.NumEdges())
+		}
+		if !p.IsConnected() {
+			t.Errorf("pattern %d not connected", i)
+		}
+	}
+}
+
+func TestEMolInventory(t *testing.T) {
+	ps := EMolPatterns()
+	if len(ps) != 6 {
+		t.Fatalf("eMol model has %d patterns, want 6", len(ps))
+	}
+	for i, p := range ps {
+		if p.NumEdges() < 3 || p.NumEdges() > 8 {
+			t.Errorf("pattern %d size %d outside [3,8]", i, p.NumEdges())
+		}
+		// eMol templates are all rings: |V| == |E|.
+		if p.NumVertices() != p.NumEdges() {
+			t.Errorf("pattern %d is not a ring", i)
+		}
+	}
+}
+
+func TestNoDuplicatePatterns(t *testing.T) {
+	for _, set := range [][]*graph.Graph{PubChemPatterns(), EMolPatterns()} {
+		for i := 0; i < len(set); i++ {
+			for j := i + 1; j < len(set); j++ {
+				a, b := set[i], set[j]
+				if a.Signature() == b.Signature() && subiso.Contains(a, b) && subiso.Contains(b, a) {
+					t.Errorf("patterns %d and %d are isomorphic", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestRingBuilder(t *testing.T) {
+	r := Ring(5)
+	if r.NumVertices() != 5 || r.NumEdges() != 5 {
+		t.Errorf("Ring(5): V=%d E=%d", r.NumVertices(), r.NumEdges())
+	}
+	for v := 0; v < 5; v++ {
+		if r.Degree(graph.VertexID(v)) != 2 {
+			t.Errorf("ring vertex degree %d", r.Degree(graph.VertexID(v)))
+		}
+	}
+}
+
+func TestChainAndStar(t *testing.T) {
+	c := Chain(4)
+	if c.NumEdges() != 4 || c.NumVertices() != 5 || c.MaxDegree() != 2 {
+		t.Errorf("Chain(4) malformed: %v", c)
+	}
+	s := Star(4)
+	if s.NumEdges() != 4 || s.MaxDegree() != 4 {
+		t.Errorf("Star(4) malformed: %v", s)
+	}
+}
+
+func TestRingWithPendant(t *testing.T) {
+	g := RingWithPendant(6)
+	if g.NumEdges() != 7 || g.NumVertices() != 7 {
+		t.Errorf("RingWithPendant(6): V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	// Must contain a plain 6-ring.
+	if !subiso.Contains(g, Ring(6)) {
+		t.Error("pendant ring lost its ring")
+	}
+}
+
+func TestFusedRings(t *testing.T) {
+	g := FusedRings(3, 4)
+	if g.NumEdges() != 6 { // 3 + 4 - 1 shared
+		t.Errorf("FusedRings(3,4) edges = %d, want 6", g.NumEdges())
+	}
+	if !subiso.Contains(g, Ring(3)) || !subiso.Contains(g, Ring(4)) {
+		t.Error("fused rings must contain both component rings")
+	}
+	naph := FusedRings(6, 6)
+	if naph.NumEdges() != 11 || naph.NumVertices() != 10 {
+		t.Errorf("naphthalene skeleton: V=%d E=%d, want 10/11", naph.NumVertices(), naph.NumEdges())
+	}
+}

@@ -1,0 +1,155 @@
+// Package layout positions graph vertices in the unit square for
+// rendering canned patterns — the visual half of a visual graph query
+// interface. Two layouts are provided: a circular layout (exact for the
+// ring templates GUIs favor) and a seeded Fruchterman-Reingold
+// force-directed layout for general patterns. Both are deterministic for
+// a given input.
+package layout
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Point is a position in the unit square.
+type Point struct {
+	X, Y float64
+}
+
+// Circular places the vertices evenly on a circle, in vertex-ID order.
+func Circular(g *graph.Graph) []Point {
+	n := g.NumVertices()
+	pts := make([]Point, n)
+	if n == 0 {
+		return pts
+	}
+	if n == 1 {
+		pts[0] = Point{0.5, 0.5}
+		return pts
+	}
+	const r = 0.42
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		pts[i] = Point{0.5 + r*math.Cos(a), 0.5 + r*math.Sin(a)}
+	}
+	return pts
+}
+
+// ForceDirected runs Fruchterman-Reingold for the given number of
+// iterations (default 150 when <= 0), starting from a seeded random
+// placement, and normalizes the result into the unit square with a small
+// margin.
+func ForceDirected(g *graph.Graph, iterations int, seed int64) []Point {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []Point{{0.5, 0.5}}
+	}
+	if iterations <= 0 {
+		iterations = 150
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pos := make([]Point, n)
+	for i := range pos {
+		pos[i] = Point{rng.Float64(), rng.Float64()}
+	}
+	k := math.Sqrt(1.0 / float64(n)) // ideal edge length
+	temp := 0.1
+	cool := temp / float64(iterations+1)
+
+	disp := make([]Point, n)
+	for it := 0; it < iterations; it++ {
+		for i := range disp {
+			disp[i] = Point{}
+		}
+		// Repulsion between all pairs.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx := pos[i].X - pos[j].X
+				dy := pos[i].Y - pos[j].Y
+				d := math.Hypot(dx, dy)
+				if d < 1e-9 {
+					// Coincident points: push apart deterministically.
+					dx, dy, d = 1e-3*float64(i-j), 1e-3, 1.5e-3
+				}
+				f := k * k / d
+				ux, uy := dx/d, dy/d
+				disp[i].X += ux * f
+				disp[i].Y += uy * f
+				disp[j].X -= ux * f
+				disp[j].Y -= uy * f
+			}
+		}
+		// Attraction along edges.
+		for _, e := range g.Edges() {
+			dx := pos[e.U].X - pos[e.V].X
+			dy := pos[e.U].Y - pos[e.V].Y
+			d := math.Hypot(dx, dy)
+			if d < 1e-9 {
+				continue
+			}
+			f := d * d / k
+			ux, uy := dx/d, dy/d
+			disp[e.U].X -= ux * f
+			disp[e.U].Y -= uy * f
+			disp[e.V].X += ux * f
+			disp[e.V].Y += uy * f
+		}
+		// Apply displacements limited by temperature.
+		for i := 0; i < n; i++ {
+			d := math.Hypot(disp[i].X, disp[i].Y)
+			if d < 1e-12 {
+				continue
+			}
+			step := math.Min(d, temp)
+			pos[i].X += disp[i].X / d * step
+			pos[i].Y += disp[i].Y / d * step
+		}
+		temp -= cool
+		if temp < 1e-4 {
+			temp = 1e-4
+		}
+	}
+	normalize(pos)
+	return pos
+}
+
+// normalize rescales positions into [margin, 1-margin]².
+func normalize(pos []Point) {
+	const margin = 0.08
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pos {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	spanX := maxX - minX
+	spanY := maxY - minY
+	for i := range pos {
+		if spanX > 1e-12 {
+			pos[i].X = margin + (pos[i].X-minX)/spanX*(1-2*margin)
+		} else {
+			pos[i].X = 0.5
+		}
+		if spanY > 1e-12 {
+			pos[i].Y = margin + (pos[i].Y-minY)/spanY*(1-2*margin)
+		} else {
+			pos[i].Y = 0.5
+		}
+	}
+}
+
+// Auto picks a layout: circular for cycles (|V| == |E| and 2-regular),
+// force-directed otherwise.
+func Auto(g *graph.Graph, seed int64) []Point {
+	if g.NumVertices() >= 3 && g.NumVertices() == g.NumEdges() && g.MaxDegree() == 2 {
+		return Circular(g)
+	}
+	return ForceDirected(g, 0, seed)
+}

@@ -1,0 +1,276 @@
+// Package mcs computes maximum common (connected) subgraphs and the
+// similarity measures the paper builds on them (Sec 2):
+//
+//	ωmcs(G1,G2)  = |Gmcs|  / min(|G1|,|G2|)
+//	ωmccs(G1,G2) = |Gmccs| / min(|G1|,|G2|)
+//
+// where |G| = |E|. MCCS is computed with a McGregor-style backtracking
+// search over vertex correspondences (McGregor 1982): the mapping is grown
+// one label-compatible, adjacency-connected vertex pair at a time, and the
+// objective is the number of common edges. Because the problem is
+// NP-complete, the search takes a node budget; when the budget is exhausted
+// the best mapping found so far is returned, which is sufficient for the
+// similarity *rankings* that fine clustering needs.
+//
+// MCS (the unconnected variant) is computed as a greedy union of connected
+// common subgraphs: repeatedly find an MCCS on the still-unmatched vertices
+// and remove it, until no common edge remains. This matches how mcs-based
+// fine clustering is evaluated as a baseline in Exp 1.
+package mcs
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Pair is a correspondence between a vertex of G1 and a vertex of G2.
+type Pair struct {
+	V1, V2 graph.VertexID
+}
+
+// Result describes a common subgraph found between two graphs.
+type Result struct {
+	Pairs []Pair // vertex correspondences
+	Edges int    // number of common edges, |Gcommon|
+	// Exhausted reports whether the search ran out of its node budget
+	// before exploring the full space (the result may then be suboptimal).
+	Exhausted bool
+}
+
+// DefaultBudget is the default number of search-tree nodes explored per
+// MCCS computation. Graphs in this repository's datasets have ~10-60
+// vertices; this budget makes the search exact on most pairs while bounding
+// worst-case latency.
+const DefaultBudget = 200000
+
+type searcher struct {
+	g1, g2   *graph.Graph
+	m12      []graph.VertexID // g1 -> g2, -1 unmapped
+	m21      []graph.VertexID // g2 -> g1, -1 unmapped
+	cur      []Pair
+	curEdges int
+	best     []Pair
+	bestEdge int
+	budget   int
+	nodes    int
+	minE     int
+}
+
+// MCCS returns a maximum connected common subgraph of g1 and g2 within the
+// given node budget (DefaultBudget if budget <= 0).
+func MCCS(g1, g2 *graph.Graph, budget int) Result {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	s := &searcher{
+		g1:     g1,
+		g2:     g2,
+		m12:    fill(g1.NumVertices()),
+		m21:    fill(g2.NumVertices()),
+		budget: budget,
+		minE:   min(g1.NumEdges(), g2.NumEdges()),
+	}
+	// Try every label-compatible seed pair. To break the symmetry of
+	// re-discovering the same subgraph from different seeds, seeds are
+	// ordered and each search only ever maps seed pairs at the root.
+	seeds := s.seedPairs()
+	for _, p := range seeds {
+		s.place(p, 0)
+		s.extend()
+		s.unplace(p, 0)
+		if s.bestEdge >= s.minE || s.nodes >= s.budget {
+			break
+		}
+	}
+	return Result{
+		Pairs:     s.best,
+		Edges:     s.bestEdge,
+		Exhausted: s.nodes >= s.budget,
+	}
+}
+
+// MCS returns a maximum common subgraph (possibly disconnected), computed as
+// a greedy union of MCCS components. The shared budget is split across
+// component searches.
+func MCS(g1, g2 *graph.Graph, budget int) Result {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	h1, h2 := g1.Clone(), g2.Clone()
+	// removed vertices are tracked by blanking labels to a sentinel that
+	// never matches; this keeps vertex IDs stable.
+	const tomb = "\x00removed"
+	var all []Pair
+	total := 0
+	exhausted := false
+	for {
+		r := MCCS(h1, h2, budget)
+		exhausted = exhausted || r.Exhausted
+		if r.Edges == 0 {
+			break
+		}
+		total += r.Edges
+		all = append(all, r.Pairs...)
+		for _, p := range r.Pairs {
+			h1.SetLabel(p.V1, tomb)
+			h2.SetLabel(p.V2, tomb+"2") // distinct sentinels never match
+		}
+	}
+	return Result{Pairs: all, Edges: total, Exhausted: exhausted}
+}
+
+// SimilarityMCCS returns ωmccs(g1,g2) ∈ [0,1].
+func SimilarityMCCS(g1, g2 *graph.Graph, budget int) float64 {
+	m := min(g1.NumEdges(), g2.NumEdges())
+	if m == 0 {
+		return 0
+	}
+	return float64(MCCS(g1, g2, budget).Edges) / float64(m)
+}
+
+// SimilarityMCS returns ωmcs(g1,g2) ∈ [0,1].
+func SimilarityMCS(g1, g2 *graph.Graph, budget int) float64 {
+	m := min(g1.NumEdges(), g2.NumEdges())
+	if m == 0 {
+		return 0
+	}
+	return float64(MCS(g1, g2, budget).Edges) / float64(m)
+}
+
+// Subgraph materializes the common subgraph described by r as a standalone
+// graph, using labels and edges from g1.
+func (r Result) Subgraph(g1 *graph.Graph) *graph.Graph {
+	vs := make([]graph.VertexID, 0, len(r.Pairs))
+	for _, p := range r.Pairs {
+		vs = append(vs, p.V1)
+	}
+	sub, _ := g1.InducedSubgraph(vs)
+	return sub
+}
+
+func fill(n int) []graph.VertexID {
+	s := make([]graph.VertexID, n)
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
+// seedPairs enumerates label-compatible (v1, v2) pairs ordered by the
+// product of degrees descending, so dense regions are explored first.
+func (s *searcher) seedPairs() []Pair {
+	var ps []Pair
+	for v1 := 0; v1 < s.g1.NumVertices(); v1++ {
+		for v2 := 0; v2 < s.g2.NumVertices(); v2++ {
+			if s.g1.Label(graph.VertexID(v1)) == s.g2.Label(graph.VertexID(v2)) {
+				ps = append(ps, Pair{graph.VertexID(v1), graph.VertexID(v2)})
+			}
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		di := s.g1.Degree(ps[i].V1) * s.g2.Degree(ps[i].V2)
+		dj := s.g1.Degree(ps[j].V1) * s.g2.Degree(ps[j].V2)
+		return di > dj
+	})
+	return ps
+}
+
+// place maps p and returns nothing; gain edges were counted by the caller.
+func (s *searcher) place(p Pair, gain int) {
+	s.m12[p.V1] = p.V2
+	s.m21[p.V2] = p.V1
+	s.cur = append(s.cur, p)
+	s.curEdges += gain
+}
+
+func (s *searcher) unplace(p Pair, gain int) {
+	s.m12[p.V1] = -1
+	s.m21[p.V2] = -1
+	s.cur = s.cur[:len(s.cur)-1]
+	s.curEdges -= gain
+}
+
+// gain counts common edges created by adding pair p to the current mapping:
+// edges from p.V1 to mapped g1-vertices whose images are adjacent to p.V2.
+func (s *searcher) gain(p Pair) int {
+	g := 0
+	for _, n1 := range s.g1.Neighbors(p.V1) {
+		if img := s.m12[n1]; img >= 0 && s.g2.HasEdge(p.V2, img) {
+			g++
+		}
+	}
+	return g
+}
+
+// extend grows the current connected mapping with candidate pairs adjacent
+// to it, exploring gain-descending and recording the best edge count seen.
+func (s *searcher) extend() {
+	s.nodes++
+	if s.curEdges > s.bestEdge {
+		s.bestEdge = s.curEdges
+		s.best = append(s.best[:0], s.cur...)
+	}
+	if s.nodes >= s.budget || s.bestEdge >= s.minE {
+		return
+	}
+
+	cands := s.candidates()
+	for _, c := range cands {
+		g := s.gain(c)
+		if g == 0 {
+			continue // adjacency-connected candidates always gain >= 1
+		}
+		s.place(c, g)
+		s.extend()
+		s.unplace(c, g)
+		if s.nodes >= s.budget || s.bestEdge >= s.minE {
+			return
+		}
+	}
+}
+
+// candidates enumerates unmapped label-compatible pairs adjacent (in both
+// graphs) to the current mapping, ordered by gain descending.
+func (s *searcher) candidates() []Pair {
+	seen := make(map[Pair]struct{})
+	var out []Pair
+	for _, mp := range s.cur {
+		for _, n1 := range s.g1.Neighbors(mp.V1) {
+			if s.m12[n1] >= 0 {
+				continue
+			}
+			for _, n2 := range s.g2.Neighbors(mp.V2) {
+				if s.m21[n2] >= 0 {
+					continue
+				}
+				if s.g1.Label(n1) != s.g2.Label(n2) {
+					continue
+				}
+				p := Pair{n1, n2}
+				if _, dup := seen[p]; !dup {
+					seen[p] = struct{}{}
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		gi, gj := s.gain(out[i]), s.gain(out[j])
+		if gi != gj {
+			return gi > gj
+		}
+		if out[i].V1 != out[j].V1 {
+			return out[i].V1 < out[j].V1
+		}
+		return out[i].V2 < out[j].V2
+	})
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,44 @@
+package mcs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: MCCS of a graph with itself recovers every edge, so the
+// self-similarity is exactly 1 for any graph with at least one edge.
+func TestSelfMCCSProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(r, 4+r.Intn(5), 4+r.Intn(6))
+		res := MCCS(g, g.Clone(), 0)
+		return res.Edges == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the MCCS edge count never exceeds min(|E1|, |E2|) and the
+// similarity stays in [0, 1].
+func TestMCCSBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g1 := randomConnectedGraph(r, 4+r.Intn(5), 4+r.Intn(6))
+		g2 := randomConnectedGraph(r, 4+r.Intn(5), 4+r.Intn(6))
+		res := MCCS(g1, g2, 5000)
+		min := g1.NumEdges()
+		if g2.NumEdges() < min {
+			min = g2.NumEdges()
+		}
+		if res.Edges < 0 || res.Edges > min {
+			return false
+		}
+		s := SimilarityMCCS(g1, g2, 5000)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,43 @@
+// Package par provides a minimal order-preserving parallel-for used by the
+// pipeline's embarrassingly parallel stages (feature vector construction,
+// workload evaluation, CSG building). Work items write only to their own
+// index, so results are deterministic regardless of scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n), using up to GOMAXPROCS workers.
+// fn must not panic; it may write only to per-index state. For n <= 1 or a
+// single-CPU process the loop runs inline to avoid goroutine overhead.
+func For(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

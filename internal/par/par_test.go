@@ -1,0 +1,66 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	const n = 1000
+	counts := make([]int64, n)
+	For(n, func(i int) { atomic.AddInt64(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForZeroAndOne(t *testing.T) {
+	called := 0
+	For(0, func(int) { called++ })
+	if called != 0 {
+		t.Error("For(0) invoked fn")
+	}
+	For(1, func(i int) {
+		if i != 0 {
+			t.Errorf("For(1) passed index %d", i)
+		}
+		called++
+	})
+	if called != 1 {
+		t.Error("For(1) should invoke fn once")
+	}
+}
+
+func TestForParallelPath(t *testing.T) {
+	// Force the multi-worker path even on 1-CPU machines.
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	const n = 500
+	var sum int64
+	For(n, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	want := int64(n * (n - 1) / 2)
+	if sum != want {
+		t.Errorf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestForOrderIndependentResultsProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)
+		out := make([]int, n)
+		For(n, func(i int) { out[i] = i * i })
+		for i := range out {
+			if out[i] != i*i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+package queryform
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Exact maximum-weight independent set over embedding conflict graphs.
+//
+// The greedy MWIS of GreedyMWIS is a fast approximation; for small
+// embedding sets an exact branch-and-bound search is affordable and gives
+// the true optimum of the paper's step model. Steps() uses the exact
+// solver automatically when the embedding count is at most
+// exactMWISLimit.
+
+// exactMWISLimit is the embedding-count threshold below which Steps uses
+// the exact solver. The branch-and-bound is exponential in the worst
+// case, so the limit stays small enough that even adversarial conflict
+// structures resolve in microseconds.
+const exactMWISLimit = 18
+
+// ExactMWIS returns a maximum-weight set of pairwise vertex-disjoint
+// embeddings by branch and bound. Weight is the number of query vertices
+// covered (ties broken toward more covered edges, matching the greedy's
+// preference). Exponential in len(embeddings); intended for small inputs.
+func ExactMWIS(q *graph.Graph, embeddings []Embedding) []Embedding {
+	n := len(embeddings)
+	if n == 0 {
+		return nil
+	}
+	// Precompute pairwise conflicts.
+	conflict := make([][]bool, n)
+	for i := range conflict {
+		conflict[i] = make([]bool, n)
+	}
+	vsets := make([]map[graph.VertexID]bool, n)
+	for i, e := range embeddings {
+		vsets[i] = make(map[graph.VertexID]bool, len(e.Vertices))
+		for _, v := range e.Vertices {
+			vsets[i][v] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for _, v := range embeddings[j].Vertices {
+				if vsets[i][v] {
+					conflict[i][j] = true
+					conflict[j][i] = true
+					break
+				}
+			}
+		}
+	}
+	// Order by weight descending for tighter bounds.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		wa, wb := embeddings[order[a]].weight(), embeddings[order[b]].weight()
+		if wa != wb {
+			return wa > wb
+		}
+		return len(embeddings[order[a]].Edges) > len(embeddings[order[b]].Edges)
+	})
+	// Suffix weight sums for the bound.
+	suffix := make([]int, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + embeddings[order[i]].weight()
+	}
+
+	var best []int
+	bestW := -1
+	var cur []int
+	curW := 0
+	var rec func(idx int)
+	rec = func(idx int) {
+		if curW > bestW {
+			bestW = curW
+			best = append(best[:0], cur...)
+		}
+		if idx == n || curW+suffix[idx] <= bestW {
+			return
+		}
+		ei := order[idx]
+		// Branch 1: include ei if conflict-free with current picks.
+		ok := true
+		for _, cj := range cur {
+			if conflict[ei][cj] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			cur = append(cur, ei)
+			curW += embeddings[ei].weight()
+			rec(idx + 1)
+			curW -= embeddings[ei].weight()
+			cur = cur[:len(cur)-1]
+		}
+		// Branch 2: exclude ei.
+		rec(idx + 1)
+	}
+	rec(0)
+
+	out := make([]Embedding, 0, len(best))
+	for _, i := range best {
+		out = append(out, embeddings[i])
+	}
+	return out
+}
+
+// selectCover picks the embedding cover Steps uses: exact MWIS for small
+// inputs, greedy beyond.
+func selectCover(q *graph.Graph, embeddings []Embedding) []Embedding {
+	if len(embeddings) <= exactMWISLimit {
+		return ExactMWIS(q, embeddings)
+	}
+	return GreedyMWIS(q, embeddings)
+}
+
+// TotalWeight sums the MWIS weights of a selection (exported for tests and
+// diagnostics).
+func TotalWeight(sel []Embedding) int {
+	w := 0
+	for _, e := range sel {
+		w += e.weight()
+	}
+	return w
+}

@@ -1,0 +1,109 @@
+package queryform
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestExactMWISEmpty(t *testing.T) {
+	q := pathGraph("C", "C")
+	if out := ExactMWIS(q, nil); out != nil {
+		t.Errorf("empty input returned %v", out)
+	}
+}
+
+func TestExactMWISBeatsGreedyTrap(t *testing.T) {
+	// Construct a case where greedy-by-weight is suboptimal: one heavy
+	// embedding conflicting with two medium ones whose sum is larger.
+	q := pathGraph("C", "C", "C", "C", "C", "C") // 6 vertices
+	heavy := Embedding{Vertices: []graph.VertexID{1, 2, 3, 4}}
+	left := Embedding{Vertices: []graph.VertexID{0, 1, 2}}
+	right := Embedding{Vertices: []graph.VertexID{3, 4, 5}}
+	embeddings := []Embedding{heavy, left, right}
+
+	greedy := GreedyMWIS(q, embeddings)
+	exact := ExactMWIS(q, embeddings)
+	if TotalWeight(greedy) != 4 {
+		t.Fatalf("greedy weight = %d, expected trap value 4", TotalWeight(greedy))
+	}
+	if TotalWeight(exact) != 6 {
+		t.Fatalf("exact weight = %d, want 6", TotalWeight(exact))
+	}
+}
+
+func TestExactMWISIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := ring(8, "C")
+	p3 := pathGraph("C", "C", "C")
+	embeddings := FindEmbeddings(q, []*graph.Graph{p3})
+	sel := ExactMWIS(q, embeddings)
+	used := map[graph.VertexID]bool{}
+	for _, e := range sel {
+		for _, v := range e.Vertices {
+			if used[v] {
+				t.Fatalf("overlapping embeddings selected")
+			}
+			used[v] = true
+		}
+	}
+	_ = rng
+}
+
+// TestExactAtLeastGreedy: on random embedding sets the exact optimum must
+// weigh at least as much as the greedy solution.
+func TestExactAtLeastGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := ring(10, "C")
+		n := 3 + r.Intn(10)
+		embeddings := make([]Embedding, n)
+		for i := range embeddings {
+			k := 2 + r.Intn(4)
+			vs := map[graph.VertexID]bool{}
+			for len(vs) < k {
+				vs[graph.VertexID(r.Intn(10))] = true
+			}
+			var list []graph.VertexID
+			for v := range vs {
+				list = append(list, v)
+			}
+			embeddings[i] = Embedding{Vertices: list}
+		}
+		g := TotalWeight(GreedyMWIS(q, embeddings))
+		e := TotalWeight(ExactMWIS(q, embeddings))
+		return e >= g
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectCoverSwitchesSolvers(t *testing.T) {
+	// Small sets go exact (verified by the trap case flowing through
+	// Steps): the trap above realized with actual patterns.
+	q := pathGraph("C", "C", "C", "C", "C", "C")
+	p4 := pathGraph("C", "C", "C", "C")
+	p3 := pathGraph("C", "C", "C")
+	r := Steps(q, []*graph.Graph{p4, p3})
+	// Optimal: two 3-paths cover all 6 vertices and 4 edges; remaining 1
+	// edge: steps = 2 + 0 + 1 = 3. A greedy 4-path start would cost
+	// 1 + 2 + 2 = 5 via (4-path + 2 vertices + 2 edges)? Actually after a
+	// 4-path pick the remaining two vertices sit on opposite ends, so
+	// steps = 1 + 2 + 2 = 5. Exact must find 3.
+	if r.StepP != 3 {
+		t.Errorf("StepP = %d, want 3 (exact MWIS)", r.StepP)
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	es := []Embedding{
+		{Vertices: []graph.VertexID{0, 1}},
+		{Vertices: []graph.VertexID{2, 3, 4}},
+	}
+	if TotalWeight(es) != 5 {
+		t.Errorf("TotalWeight = %d, want 5", TotalWeight(es))
+	}
+}

@@ -1,0 +1,275 @@
+// Package queryform models visual query formulation cost (Sec 6.1). Given
+// a subgraph query Q and a canned pattern set P, the set of pattern
+// instances used to build Q is a maximum-weight independent set over
+// non-overlapping pattern embeddings (weight = number of vertices, after
+// Sakai et al. [33]) — exact branch-and-bound for small embedding sets,
+// greedy beyond; each chosen instance counts as one step and the
+// remaining vertices and edges are added one at a time:
+//
+//	stepP = |PQ| + |VQ \ VPQ| + |EQ \ EPQ|
+//
+// The edge-at-a-time baseline is steptotal = |VQ| + |EQ|, giving the
+// reduction ratio μ = (steptotal - stepP) / steptotal. A query is "missed"
+// when no pattern embeds in it (the MP measure).
+package queryform
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/subiso"
+)
+
+// Embedding is one occurrence of a pattern inside a query.
+type Embedding struct {
+	PatternIndex int
+	Vertices     []graph.VertexID // query vertices covered, sorted
+	Edges        []graph.Edge     // query edges covered
+}
+
+// weight is the MWIS weight: the number of vertices constructed in one step.
+func (e *Embedding) weight() int { return len(e.Vertices) }
+
+// maxEmbeddingsPerPattern caps VF2 enumeration per (query, pattern) pair.
+// Queries have at most ~40 edges, so this is ample in practice while
+// bounding pathological automorphism blowups.
+const maxEmbeddingsPerPattern = 256
+
+// FindEmbeddings enumerates the distinct embeddings of each pattern in q.
+// Embeddings that cover identical vertex sets (automorphic images) are
+// collapsed to one.
+func FindEmbeddings(q *graph.Graph, patterns []*graph.Graph) []Embedding {
+	var out []Embedding
+	for pi, p := range patterns {
+		if p.NumEdges() > q.NumEdges() || p.NumVertices() > q.NumVertices() {
+			continue
+		}
+		seen := make(map[string]bool)
+		for _, m := range subiso.FindAll(q, p, subiso.Options{MaxSolutions: maxEmbeddingsPerPattern}) {
+			vs := append([]graph.VertexID(nil), m...)
+			sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+			key := vertexKey(vs)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			var es []graph.Edge
+			for _, pe := range p.Edges() {
+				es = append(es, graph.NewEdge(m[pe.U], m[pe.V]))
+			}
+			out = append(out, Embedding{PatternIndex: pi, Vertices: vs, Edges: es})
+		}
+	}
+	return out
+}
+
+func vertexKey(vs []graph.VertexID) string {
+	b := make([]byte, 0, len(vs)*2)
+	for _, v := range vs {
+		b = append(b, byte(v), byte(v>>8))
+	}
+	return string(b)
+}
+
+// GreedyMWIS selects a maximal set of pairwise vertex-disjoint embeddings
+// by descending weight (a 1/Δ-approximation of maximum weighted
+// independent set; exact MWIS is NP-hard).
+func GreedyMWIS(q *graph.Graph, embeddings []Embedding) []Embedding {
+	ordered := append([]Embedding(nil), embeddings...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].weight() != ordered[j].weight() {
+			return ordered[i].weight() > ordered[j].weight()
+		}
+		// Prefer embeddings covering more edges at equal vertex weight.
+		return len(ordered[i].Edges) > len(ordered[j].Edges)
+	})
+	used := make([]bool, q.NumVertices())
+	var sel []Embedding
+	for _, e := range ordered {
+		conflict := false
+		for _, v := range e.Vertices {
+			if used[v] {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		for _, v := range e.Vertices {
+			used[v] = true
+		}
+		sel = append(sel, e)
+	}
+	return sel
+}
+
+// StepResult summarizes the formulation cost of one query.
+type StepResult struct {
+	StepTotal    int  // edge-at-a-time steps: |VQ| + |EQ|
+	StepP        int  // pattern-at-a-time steps with the given pattern set
+	PatternsUsed int  // |PQ|
+	Relabels     int  // vertex relabel steps (unlabeled-GUI model only)
+	Missed       bool // no pattern embedded in the query
+}
+
+// Mu returns the reduction ratio μ = (steptotal - stepP) / steptotal.
+func (r StepResult) Mu() float64 {
+	if r.StepTotal == 0 {
+		return 0
+	}
+	return float64(r.StepTotal-r.StepP) / float64(r.StepTotal)
+}
+
+// Steps computes the formulation cost of query q under pattern set P with
+// fully labeled patterns (CATAPULT's setting).
+func Steps(q *graph.Graph, patterns []*graph.Graph) StepResult {
+	embeddings := FindEmbeddings(q, patterns)
+	sel := selectCover(q, embeddings)
+	coveredV := make([]bool, q.NumVertices())
+	coveredE := make(map[graph.Edge]bool)
+	for _, e := range sel {
+		for _, v := range e.Vertices {
+			coveredV[v] = true
+		}
+		for _, ed := range e.Edges {
+			coveredE[ed] = true
+		}
+	}
+	remV := 0
+	for _, c := range coveredV {
+		if !c {
+			remV++
+		}
+	}
+	remE := 0
+	for _, e := range q.Edges() {
+		if !coveredE[e] {
+			remE++
+		}
+	}
+	return StepResult{
+		StepTotal:    q.NumVertices() + q.NumEdges(),
+		StepP:        len(sel) + remV + remE,
+		PatternsUsed: len(sel),
+		Missed:       len(sel) == 0,
+	}
+}
+
+// StepsUnlabeled computes the cost under an unlabeled-pattern GUI
+// (PubChem/eMol, Exp 3): the query and the patterns are relabeled to a
+// single common label for matching (the paper's favorable vertex-relabel
+// protocol), and each vertex instantiated from an unlabeled pattern costs
+// one extra 1-step relabel action: stepP(gui) += |VPl|.
+func StepsUnlabeled(q *graph.Graph, patterns []*graph.Graph) StepResult {
+	const common = "\x01*"
+	rq := relabel(q, common)
+	rps := make([]*graph.Graph, len(patterns))
+	for i, p := range patterns {
+		rps[i] = relabel(p, common)
+	}
+	embeddings := FindEmbeddings(rq, rps)
+	sel := selectCover(rq, embeddings)
+	coveredV := make([]bool, rq.NumVertices())
+	coveredE := make(map[graph.Edge]bool)
+	patternVertices := 0
+	for _, e := range sel {
+		patternVertices += len(e.Vertices)
+		for _, v := range e.Vertices {
+			coveredV[v] = true
+		}
+		for _, ed := range e.Edges {
+			coveredE[ed] = true
+		}
+	}
+	remV := 0
+	for _, c := range coveredV {
+		if !c {
+			remV++
+		}
+	}
+	remE := 0
+	for _, e := range rq.Edges() {
+		if !coveredE[e] {
+			remE++
+		}
+	}
+	return StepResult{
+		StepTotal:    q.NumVertices() + q.NumEdges(),
+		StepP:        len(sel) + patternVertices + remV + remE,
+		PatternsUsed: len(sel),
+		Relabels:     patternVertices,
+		Missed:       len(sel) == 0,
+	}
+}
+
+func relabel(g *graph.Graph, label string) *graph.Graph {
+	c := g.Clone()
+	for v := 0; v < c.NumVertices(); v++ {
+		c.SetLabel(graph.VertexID(v), label)
+	}
+	return c
+}
+
+// SetMetrics aggregates formulation cost over a query workload.
+type SetMetrics struct {
+	MP    float64 // missed percentage, in [0, 100]
+	MaxMu float64 // maximum reduction ratio over non-missed queries
+	AvgMu float64 // average reduction ratio over all queries
+	Steps []StepResult
+}
+
+// Evaluate computes MP and μ statistics of a pattern set over a workload.
+// Unlabeled selects the GUI cost model of StepsUnlabeled.
+func Evaluate(queries []*graph.Graph, patterns []*graph.Graph, unlabeled bool) SetMetrics {
+	var m SetMetrics
+	if len(queries) == 0 {
+		return m
+	}
+	m.Steps = make([]StepResult, len(queries))
+	par.For(len(queries), func(i int) {
+		if unlabeled {
+			m.Steps[i] = StepsUnlabeled(queries[i], patterns)
+		} else {
+			m.Steps[i] = Steps(queries[i], patterns)
+		}
+	})
+	missed := 0
+	sumMu := 0.0
+	for _, r := range m.Steps {
+		if r.Missed {
+			missed++
+		}
+		mu := r.Mu()
+		sumMu += mu
+		if mu > m.MaxMu {
+			m.MaxMu = mu
+		}
+	}
+	m.MP = float64(missed) / float64(len(queries)) * 100
+	m.AvgMu = sumMu / float64(len(queries))
+	return m
+}
+
+// RelativeReduction computes μG = (stepA - stepB) / stepA per query (the
+// Exp 3 / Exp 6 / Exp 9 cross-interface measure, with A the competitor and
+// B CATAPULT), returning the maximum and average over the workload.
+func RelativeReduction(stepsA, stepsB []StepResult) (maxMu, avgMu float64) {
+	n := len(stepsA)
+	if n == 0 || n != len(stepsB) {
+		return 0, 0
+	}
+	sum := 0.0
+	for i := range stepsA {
+		if stepsA[i].StepP == 0 {
+			continue
+		}
+		mu := float64(stepsA[i].StepP-stepsB[i].StepP) / float64(stepsA[i].StepP)
+		sum += mu
+		if mu > maxMu {
+			maxMu = mu
+		}
+	}
+	return maxMu, sum / float64(n)
+}

@@ -1,0 +1,264 @@
+package queryform
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func pathGraph(labels ...string) *graph.Graph {
+	g := graph.New(len(labels), len(labels)-1)
+	for _, l := range labels {
+		g.AddVertex(l)
+	}
+	for i := 1; i < len(labels); i++ {
+		g.MustAddEdge(graph.VertexID(i-1), graph.VertexID(i))
+	}
+	return g
+}
+
+func ring(n int, label string) *graph.Graph {
+	g := graph.New(n, n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(label)
+	}
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(graph.VertexID(i), graph.VertexID((i+1)%n))
+	}
+	return g
+}
+
+func TestStepsNoPatterns(t *testing.T) {
+	q := pathGraph("C", "O", "N")
+	r := Steps(q, nil)
+	if !r.Missed {
+		t.Error("no patterns should mean missed")
+	}
+	if r.StepTotal != 5 { // 3 vertices + 2 edges
+		t.Errorf("StepTotal = %d, want 5", r.StepTotal)
+	}
+	if r.StepP != 5 {
+		t.Errorf("StepP with no patterns = %d, want 5 (edge-at-a-time)", r.StepP)
+	}
+	if r.Mu() != 0 {
+		t.Errorf("Mu = %v, want 0", r.Mu())
+	}
+}
+
+func TestStepsExactPatternMatch(t *testing.T) {
+	// Query equals the pattern: one drag, zero extra steps.
+	q := pathGraph("C", "O", "N", "S")
+	p := pathGraph("C", "O", "N", "S")
+	r := Steps(q, []*graph.Graph{p})
+	if r.Missed {
+		t.Fatal("pattern should embed")
+	}
+	if r.StepP != 1 {
+		t.Errorf("StepP = %d, want 1", r.StepP)
+	}
+	if r.PatternsUsed != 1 {
+		t.Errorf("PatternsUsed = %d, want 1", r.PatternsUsed)
+	}
+	// μ = (7-1)/7.
+	if got, want := r.Mu(), 6.0/7.0; !closeF(got, want) {
+		t.Errorf("Mu = %v, want %v", got, want)
+	}
+}
+
+func TestStepsTMADExample(t *testing.T) {
+	// Example 1.1: TMAD formulation with pattern P1 takes 3 steps (two
+	// drags of P1 plus one connecting edge). We model P1 as the urea-like
+	// star N-C(=O)-N with the C carrying O: vertices C,O,N,N, edges
+	// C-O, C-N, C-N. TMAD core: two such units joined by an N-N edge.
+	p1 := graph.New(4, 3)
+	c := p1.AddVertex("C")
+	o := p1.AddVertex("O")
+	n1 := p1.AddVertex("N")
+	n2 := p1.AddVertex("N")
+	p1.MustAddEdge(c, o)
+	p1.MustAddEdge(c, n1)
+	p1.MustAddEdge(c, n2)
+
+	q := graph.New(8, 7)
+	var vs []graph.VertexID
+	for i := 0; i < 2; i++ {
+		cc := q.AddVertex("C")
+		oo := q.AddVertex("O")
+		nn1 := q.AddVertex("N")
+		nn2 := q.AddVertex("N")
+		q.MustAddEdge(cc, oo)
+		q.MustAddEdge(cc, nn1)
+		q.MustAddEdge(cc, nn2)
+		vs = append(vs, nn1)
+	}
+	q.MustAddEdge(vs[0], vs[1]) // join the two units
+
+	r := Steps(q, []*graph.Graph{p1})
+	if r.StepP != 3 {
+		t.Errorf("TMAD steps = %d, want 3 (two drags + one edge)", r.StepP)
+	}
+	if r.PatternsUsed != 2 {
+		t.Errorf("PatternsUsed = %d, want 2", r.PatternsUsed)
+	}
+}
+
+func TestStepsNonOverlapConstraint(t *testing.T) {
+	// Query is a 6-ring; pattern is a 6-ring: one embedding. Pattern is
+	// also a 3-path which has many overlapping embeddings — MWIS must pick
+	// disjoint ones only: a 6-ring fits two disjoint 3-paths (3 vertices
+	// each).
+	q := ring(6, "C")
+	p3 := pathGraph("C", "C", "C")
+	r := Steps(q, []*graph.Graph{p3})
+	if r.PatternsUsed != 2 {
+		t.Errorf("expected 2 disjoint 3-path instances, got %d", r.PatternsUsed)
+	}
+	// Covered: 6 vertices, 4 edges; remaining 2 edges.
+	// StepP = 2 instances + 0 vertices + 2 edges = 4.
+	if r.StepP != 4 {
+		t.Errorf("StepP = %d, want 4", r.StepP)
+	}
+}
+
+func TestFindEmbeddingsDedupAutomorphisms(t *testing.T) {
+	q := ring(6, "C")
+	p := ring(6, "C")
+	es := FindEmbeddings(q, []*graph.Graph{p})
+	// All 12 automorphic embeddings cover the same vertex set: one entry.
+	if len(es) != 1 {
+		t.Errorf("embeddings = %d, want 1 after dedup", len(es))
+	}
+}
+
+func TestFindEmbeddingsSkipsOversize(t *testing.T) {
+	q := pathGraph("C", "O")
+	p := pathGraph("C", "O", "N")
+	if es := FindEmbeddings(q, []*graph.Graph{p}); len(es) != 0 {
+		t.Errorf("oversize pattern embedded: %v", es)
+	}
+}
+
+func TestGreedyMWISPrefersHeavier(t *testing.T) {
+	q := pathGraph("C", "C", "C", "C", "C")
+	p4 := pathGraph("C", "C", "C", "C") // 4 vertices
+	p2 := pathGraph("C", "C")           // 2 vertices
+	r := Steps(q, []*graph.Graph{p2, p4})
+	// Best: one 4-path instance + 1 vertex + 1 edge = 3 steps,
+	// or 2×2-path + 1 vertex + 2 edges = 5. Greedy picks the 4-path first.
+	if r.StepP != 3 {
+		t.Errorf("StepP = %d, want 3", r.StepP)
+	}
+}
+
+func TestStepsUnlabeledRelabelCost(t *testing.T) {
+	// Unlabeled triangle pattern on a labeled triangle query.
+	q := graph.New(3, 3)
+	a := q.AddVertex("C")
+	b := q.AddVertex("O")
+	c := q.AddVertex("N")
+	q.MustAddEdge(a, b)
+	q.MustAddEdge(b, c)
+	q.MustAddEdge(c, a)
+	p := ring(3, "*") // any labels; relabeled internally
+	r := StepsUnlabeled(q, []*graph.Graph{p})
+	if r.Missed {
+		t.Fatal("unlabeled triangle should match")
+	}
+	// 1 drag + 3 relabels = 4 steps.
+	if r.StepP != 4 {
+		t.Errorf("StepP = %d, want 4 (1 drag + 3 relabels)", r.StepP)
+	}
+	// Labeled CATAPULT pattern would cost 1: the unlabeled GUI is worse.
+	labeled := q.Clone()
+	if lr := Steps(q, []*graph.Graph{labeled}); lr.StepP >= r.StepP {
+		t.Errorf("labeled pattern (%d) should beat unlabeled (%d)", lr.StepP, r.StepP)
+	}
+}
+
+func TestEvaluateWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := ring(6, "C")
+	var queries []*graph.Graph
+	for i := 0; i < 10; i++ {
+		q := graph.RandomConnectedSubgraph(base, 3+rng.Intn(3), rng)
+		queries = append(queries, q)
+	}
+	// Pattern: 3-path of C — embeds in every connected C-subgraph of ≥2
+	// edges except... always embeds for size >= 2. All our queries are
+	// size >= 3, so MP = 0.
+	p := pathGraph("C", "C", "C")
+	m := Evaluate(queries, []*graph.Graph{p}, false)
+	if m.MP != 0 {
+		t.Errorf("MP = %v, want 0", m.MP)
+	}
+	if m.AvgMu <= 0 || m.MaxMu < m.AvgMu {
+		t.Errorf("mu stats inconsistent: avg %v max %v", m.AvgMu, m.MaxMu)
+	}
+	if len(m.Steps) != 10 {
+		t.Errorf("step records = %d", len(m.Steps))
+	}
+}
+
+func TestEvaluateEmptyWorkload(t *testing.T) {
+	m := Evaluate(nil, nil, false)
+	if m.MP != 0 || m.AvgMu != 0 {
+		t.Error("empty workload should produce zero metrics")
+	}
+}
+
+func TestEvaluateMissedPercentage(t *testing.T) {
+	q1 := pathGraph("C", "C", "C", "C")
+	q2 := pathGraph("N", "N", "N", "N")
+	p := pathGraph("C", "C", "C")
+	m := Evaluate([]*graph.Graph{q1, q2}, []*graph.Graph{p}, false)
+	if m.MP != 50 {
+		t.Errorf("MP = %v, want 50", m.MP)
+	}
+}
+
+func TestRelativeReduction(t *testing.T) {
+	a := []StepResult{{StepP: 10}, {StepP: 20}}
+	b := []StepResult{{StepP: 5}, {StepP: 20}}
+	maxMu, avgMu := RelativeReduction(a, b)
+	if !closeF(maxMu, 0.5) {
+		t.Errorf("maxMu = %v, want 0.5", maxMu)
+	}
+	if !closeF(avgMu, 0.25) {
+		t.Errorf("avgMu = %v, want 0.25", avgMu)
+	}
+	// Mismatched or empty input.
+	if mx, av := RelativeReduction(a, b[:1]); mx != 0 || av != 0 {
+		t.Error("mismatched lengths should return zeros")
+	}
+}
+
+func TestMuZeroStepTotal(t *testing.T) {
+	if (StepResult{}).Mu() != 0 {
+		t.Error("zero StepTotal should give Mu 0")
+	}
+}
+
+func closeF(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func BenchmarkSteps(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	// A 20-edge query and 6 patterns.
+	big := ring(12, "C")
+	for i := 0; i < 8; i++ {
+		v := big.AddVertex("O")
+		big.MustAddEdge(graph.VertexID(rng.Intn(12)), v)
+	}
+	var patterns []*graph.Graph
+	patterns = append(patterns, pathGraph("C", "C", "C", "C"), ring(6, "C"), pathGraph("C", "O"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Steps(big, patterns)
+	}
+}

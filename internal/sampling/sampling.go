@@ -1,0 +1,113 @@
+// Package sampling implements CATAPULT's two-level sampling for large graph
+// databases (Sec 4.3): eager sampling draws a uniform random sample whose
+// size follows Toivonen's bound before clustering, and lazy sampling
+// shrinks oversize clusters after coarse clustering with proportional
+// stratified sample sizes (Cochran).
+package sampling
+
+import (
+	"math"
+	"math/rand"
+)
+
+// EagerSize returns the Toivonen sample-size bound |S| >= ln(2/ρ) / (2ε²)
+// for error bound ε and error probability ρ (Sec 4.3). For the paper's
+// running example (ρ=0.01, ε=0.02) this is 6623.
+func EagerSize(epsilon, rho float64) int {
+	if epsilon <= 0 || rho <= 0 || rho >= 1 {
+		panic("sampling: EagerSize requires epsilon > 0 and 0 < rho < 1")
+	}
+	return int(math.Ceil(math.Log(2/rho) / (2 * epsilon * epsilon)))
+}
+
+// LowSupport returns the lowered support threshold low_fr to use on the
+// sample so that a subtree frequent at min_fr in the full database is
+// missed with probability at most phi (Lemma 4.4):
+//
+//	low_fr < min_fr - sqrt(ln(1/phi) / (2|S|))
+//
+// The returned value is clamped to be non-negative.
+func LowSupport(minFr, phi float64, sampleSize int) float64 {
+	if sampleSize <= 0 || phi <= 0 || phi >= 1 {
+		panic("sampling: LowSupport requires sampleSize > 0 and 0 < phi < 1")
+	}
+	low := minFr - math.Sqrt(math.Log(1/phi)/(2*float64(sampleSize)))
+	if low < 0 {
+		return 0
+	}
+	return low
+}
+
+// Eager draws min(n, size) distinct indices uniformly from [0, n) without
+// replacement, in sorted order of draw (Fisher-Yates prefix).
+func Eager(n, size int, rng *rand.Rand) []int {
+	if size >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < size; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:size]
+}
+
+// CochranSize returns the representative sample size for a large population
+// (Lemma 4.5): |S| = Z²·p·q / e², where Z is the abscissa of the normal
+// curve for the desired confidence, p the estimated proportion, q = 1-p and
+// e the desired precision.
+func CochranSize(z, p, e float64) float64 {
+	if e <= 0 {
+		panic("sampling: CochranSize requires e > 0")
+	}
+	q := 1 - p
+	return z * z * p * q / (e * e)
+}
+
+// LazySize returns the stratified sample size for a cluster of clusterSize
+// graphs within a database of dbSize graphs (Eq 1):
+//
+//	|S_lazy(C)| = (|S_sample| / |D|) × |C|
+//
+// where |S_sample| = CochranSize(z, p, e). The result is at least 1 for a
+// non-empty cluster and never exceeds the cluster size.
+func LazySize(dbSize, clusterSize int, z, p, e float64) int {
+	if clusterSize <= 0 || dbSize <= 0 {
+		return 0
+	}
+	s := CochranSize(z, p, e) / float64(dbSize) * float64(clusterSize)
+	n := int(math.Ceil(s))
+	if n < 1 {
+		n = 1
+	}
+	if n > clusterSize {
+		n = clusterSize
+	}
+	return n
+}
+
+// Lazy draws a stratified sample of the given cluster member indices.
+func Lazy(members []int, dbSize int, z, p, e float64, rng *rand.Rand) []int {
+	size := LazySize(dbSize, len(members), z, p, e)
+	if size >= len(members) {
+		return append([]int(nil), members...)
+	}
+	pos := Eager(len(members), size, rng)
+	out := make([]int, len(pos))
+	for i, p := range pos {
+		out[i] = members[p]
+	}
+	return out
+}
+
+// Z95 is the normal abscissa used by the paper's lazy-sampling example
+// (Z_{α/2} with 1-α = 90%, i.e. the value 1.65 used in Sec 4.3's worked
+// example |S_lazy| = 1.65²·0.5²/0.03² / 50000 × 1000 ≈ 15.13).
+const Z95 = 1.65

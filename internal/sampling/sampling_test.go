@@ -1,0 +1,171 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEagerSizePaperExample(t *testing.T) {
+	// Sec 4.3: ρ=0.01, ε=0.02 → |S_eager| = ln(2/0.01)/(2·0.02²) = 6623.
+	got := EagerSize(0.02, 0.01)
+	if got < 6623 || got > 6624 {
+		t.Errorf("EagerSize(0.02, 0.01) = %d, want ≈6623", got)
+	}
+}
+
+func TestEagerSizeMonotonicity(t *testing.T) {
+	// Tighter error bound → larger sample.
+	if EagerSize(0.01, 0.01) <= EagerSize(0.02, 0.01) {
+		t.Error("smaller epsilon should need a larger sample")
+	}
+	// Lower failure probability → larger sample.
+	if EagerSize(0.02, 0.001) <= EagerSize(0.02, 0.01) {
+		t.Error("smaller rho should need a larger sample")
+	}
+}
+
+func TestEagerSizePanics(t *testing.T) {
+	for _, args := range [][2]float64{{0, 0.01}, {-1, 0.5}, {0.02, 0}, {0.02, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EagerSize(%v) did not panic", args)
+				}
+			}()
+			EagerSize(args[0], args[1])
+		}()
+	}
+}
+
+func TestLowSupportLemma(t *testing.T) {
+	// low_fr must sit strictly below min_fr and decrease with phi.
+	low := LowSupport(0.1, 0.01, 6623)
+	if low >= 0.1 {
+		t.Errorf("LowSupport = %v, want < 0.1", low)
+	}
+	lower := LowSupport(0.1, 0.001, 6623)
+	if lower >= low {
+		t.Error("smaller phi should lower the threshold further")
+	}
+	// Clamping at zero.
+	if got := LowSupport(0.001, 0.01, 10); got != 0 {
+		t.Errorf("clamped LowSupport = %v, want 0", got)
+	}
+}
+
+func TestEagerSampleProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(nRaw, sizeRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		size := int(sizeRaw) % 120
+		s := Eager(n, size, rng)
+		if size >= n {
+			if len(s) != n {
+				return false
+			}
+		} else if len(s) != size {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, i := range s {
+			if i < 0 || i >= n || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEagerUniformity(t *testing.T) {
+	// Rough uniformity check: each index of 10 should be sampled ~ size/n
+	// of the time.
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, 10)
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		for _, idx := range Eager(10, 3, rng) {
+			counts[idx]++
+		}
+	}
+	want := float64(trials) * 3 / 10
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.15 {
+			t.Errorf("index %d sampled %d times, want ≈%.0f", i, c, want)
+		}
+	}
+}
+
+func TestCochranSize(t *testing.T) {
+	// Paper worked example: Z=1.65, p=0.5, e=0.03 → 1.65²·0.25/0.0009 ≈ 756.25.
+	got := CochranSize(Z95, 0.5, 0.03)
+	if math.Abs(got-756.25) > 0.01 {
+		t.Errorf("CochranSize = %v, want 756.25", got)
+	}
+}
+
+func TestLazySizePaperExample(t *testing.T) {
+	// Sec 4.3: |D|=50000, |C|=1000, p=0.5, Z=1.65, e=0.03 → 15.13 → 16 (ceil).
+	got := LazySize(50000, 1000, Z95, 0.5, 0.03)
+	if got != 16 {
+		t.Errorf("LazySize = %d, want 16 (ceil of 15.13)", got)
+	}
+}
+
+func TestLazySizeBounds(t *testing.T) {
+	if LazySize(100, 0, Z95, 0.5, 0.03) != 0 {
+		t.Error("empty cluster should yield 0")
+	}
+	if LazySize(0, 10, Z95, 0.5, 0.03) != 0 {
+		t.Error("empty database should yield 0")
+	}
+	// Sample never exceeds cluster size.
+	if got := LazySize(10, 10, Z95, 0.5, 0.03); got > 10 {
+		t.Errorf("LazySize = %d exceeds cluster", got)
+	}
+	// At least one graph from any non-empty cluster.
+	if got := LazySize(1000000, 3, Z95, 0.5, 0.03); got < 1 {
+		t.Errorf("LazySize = %d, want >= 1", got)
+	}
+}
+
+func TestLazySampleSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	members := []int{5, 9, 12, 40, 41, 42, 77, 90, 101, 150}
+	out := Lazy(members, 20, Z95, 0.5, 0.03, rng)
+	memberSet := map[int]bool{}
+	for _, m := range members {
+		memberSet[m] = true
+	}
+	for _, o := range out {
+		if !memberSet[o] {
+			t.Errorf("sampled non-member %d", o)
+		}
+	}
+	if len(out) == 0 || len(out) > len(members) {
+		t.Errorf("lazy sample size %d out of range", len(out))
+	}
+}
+
+func TestLazySmallClusterReturnsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	members := []int{1, 2}
+	out := Lazy(members, 4, Z95, 0.5, 0.03, rng)
+	if len(out) != 2 {
+		t.Errorf("small cluster should be returned whole, got %v", out)
+	}
+}
+
+func TestCochranPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CochranSize with e=0 did not panic")
+		}
+	}()
+	CochranSize(Z95, 0.5, 0)
+}

@@ -1,0 +1,111 @@
+// Package stats provides the small statistical helpers the experiment
+// harness needs: Kendall rank correlation (Exp 10), rank assignment with
+// tie handling, and summary statistics.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KendallTau returns the Kendall tau-b rank correlation of two equally
+// long value slices, handling ties. It returns 0 for slices shorter than 2
+// or when one variable is constant.
+func KendallTau(x, y []float64) float64 {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		return 0
+	}
+	var concordant, discordant float64
+	var tiesX, tiesY float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := x[i] - x[j]
+			dy := y[i] - y[j]
+			switch {
+			case dx == 0 && dy == 0:
+				// joint tie: contributes to neither denominator term
+			case dx == 0:
+				tiesX++
+			case dy == 0:
+				tiesY++
+			case dx*dy > 0:
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	d1 := concordant + discordant + tiesX
+	d2 := concordant + discordant + tiesY
+	if d1 == 0 || d2 == 0 {
+		return 0
+	}
+	return (concordant - discordant) / math.Sqrt(d1*d2)
+}
+
+// Ranks assigns average ranks (1-based) to the values, ascending, with
+// tied values receiving the mean of their positions.
+func Ranks(vals []float64) []float64 {
+	n := len(vals)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+	ranks := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && vals[idx[j+1]] == vals[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// StdDev returns the population standard deviation (0 for fewer than 2
+// values).
+func StdDev(vals []float64) float64 {
+	if len(vals) < 2 {
+		return 0
+	}
+	m := Mean(vals)
+	s := 0.0
+	for _, v := range vals {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(vals)))
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKendallTauPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{10, 20, 30, 40, 50}
+	if got := KendallTau(x, y); got != 1 {
+		t.Errorf("tau of identical order = %v, want 1", got)
+	}
+	rev := []float64{50, 40, 30, 20, 10}
+	if got := KendallTau(x, rev); got != -1 {
+		t.Errorf("tau of reversed order = %v, want -1", got)
+	}
+}
+
+func TestKendallTauTies(t *testing.T) {
+	x := []float64{1, 2, 2, 3}
+	y := []float64{1, 2, 3, 4}
+	got := KendallTau(x, y)
+	// tau-b with one tie in x: concordant 5, discordant 0, tiesX 1.
+	want := 5 / math.Sqrt(6*5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("tau-b = %v, want %v", got, want)
+	}
+}
+
+func TestKendallTauDegenerate(t *testing.T) {
+	if KendallTau([]float64{1}, []float64{2}) != 0 {
+		t.Error("singleton should give 0")
+	}
+	if KendallTau([]float64{1, 2}, []float64{3}) != 0 {
+		t.Error("mismatched length should give 0")
+	}
+	if KendallTau([]float64{1, 1, 1}, []float64{1, 2, 3}) != 0 {
+		t.Error("constant variable should give 0")
+	}
+}
+
+func TestKendallTauSymmetryProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		x, y := raw[:n], raw[n:2*n]
+		a := KendallTau(x, y)
+		b := KendallTau(y, x)
+		return math.Abs(a-b) < 1e-12 && a >= -1-1e-12 && a <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{10, 30, 20})
+	want := []float64{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := Ranks([]float64{5, 1, 5, 9})
+	// sorted: 1(r1), 5, 5 (r2,r3 → 2.5), 9(r4)
+	want := []float64{2.5, 1, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksEmpty(t *testing.T) {
+	if len(Ranks(nil)) != 0 {
+		t.Error("Ranks(nil) should be empty")
+	}
+}
+
+func TestMeanMaxStdDev(t *testing.T) {
+	vals := []float64{2, 4, 6}
+	if Mean(vals) != 4 {
+		t.Errorf("Mean = %v", Mean(vals))
+	}
+	if Max(vals) != 6 {
+		t.Errorf("Max = %v", Max(vals))
+	}
+	if got := StdDev(vals); math.Abs(got-math.Sqrt(8.0/3.0)) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty-input helpers should return 0")
+	}
+	if StdDev([]float64{7}) != 0 {
+		t.Error("single value StdDev should be 0")
+	}
+}

@@ -1,0 +1,185 @@
+// Package treemine mines frequent subtrees from a graph database and
+// selects a discriminative subset of them as clustering features, the
+// machinery behind CATAPULT's coarse clustering (Sec 4.1, Algorithm 2).
+//
+// Frequent subtrees are free (unrooted) labeled trees. Each mined tree is
+// identified by a canonical string produced in two steps, following the
+// paper (Fig 5): the tree is rooted at its center and normalized bottom-up
+// (subtree families sorted by their canonical encodings), then the
+// normalized tree is scanned top-down, level by level, in breadth-first
+// order; '$' separates sibling families and '#' terminates the string, with
+// each child prefixed by its edge label (always "1" here since the data
+// model has no independent edge labels).
+package treemine
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Tree is a rooted representation of a mined free tree. Vertex 0 is the
+// root; Parent[v] is the parent of vertex v (Parent[0] = -1).
+type Tree struct {
+	Labels []string
+	Parent []int
+}
+
+// NumVertices returns the number of vertices.
+func (t *Tree) NumVertices() int { return len(t.Labels) }
+
+// NumEdges returns the number of edges (vertices - 1).
+func (t *Tree) NumEdges() int { return len(t.Labels) - 1 }
+
+// Graph converts the tree to a graph.Graph pattern.
+func (t *Tree) Graph() *graph.Graph {
+	g := graph.New(len(t.Labels), len(t.Labels)-1)
+	for _, l := range t.Labels {
+		g.AddVertex(l)
+	}
+	for v := 1; v < len(t.Parent); v++ {
+		g.MustAddEdge(graph.VertexID(t.Parent[v]), graph.VertexID(v))
+	}
+	return g
+}
+
+// children builds the child adjacency of the rooted tree.
+func (t *Tree) children() [][]int {
+	ch := make([][]int, len(t.Labels))
+	for v := 1; v < len(t.Parent); v++ {
+		p := t.Parent[v]
+		ch[p] = append(ch[p], v)
+	}
+	return ch
+}
+
+// CanonicalString returns the canonical breadth-first string of the free
+// tree underlying t: the tree is re-rooted at its center (for bicentral
+// trees, the lexicographically smaller of the two rootings is used) and
+// normalized before encoding.
+func (t *Tree) CanonicalString() string {
+	return CanonicalFreeTree(t.Graph())
+}
+
+// CanonicalFreeTree computes the canonical string of a free tree given as a
+// graph. It panics if g is not a tree (connected, |E| = |V|-1).
+func CanonicalFreeTree(g *graph.Graph) string {
+	if g.NumEdges() != g.NumVertices()-1 || !g.IsConnected() {
+		panic("treemine: CanonicalFreeTree on non-tree")
+	}
+	centers := treeCenters(g)
+	best := ""
+	for _, c := range centers {
+		s := encodeRooted(g, c)
+		if best == "" || s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// treeCenters returns the 1 or 2 centers of the tree by iterative leaf
+// peeling.
+func treeCenters(g *graph.Graph) []graph.VertexID {
+	n := g.NumVertices()
+	if n == 1 {
+		return []graph.VertexID{0}
+	}
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	var leaves []graph.VertexID
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(graph.VertexID(v))
+		if deg[v] <= 1 {
+			leaves = append(leaves, graph.VertexID(v))
+		}
+	}
+	remaining := n
+	for remaining > 2 {
+		var next []graph.VertexID
+		for _, l := range leaves {
+			removed[l] = true
+			remaining--
+			for _, w := range g.Neighbors(l) {
+				if !removed[w] {
+					deg[w]--
+					if deg[w] == 1 {
+						next = append(next, w)
+					}
+				}
+			}
+		}
+		leaves = next
+	}
+	var centers []graph.VertexID
+	for v := 0; v < n; v++ {
+		if !removed[graph.VertexID(v)] {
+			centers = append(centers, graph.VertexID(v))
+		}
+	}
+	return centers
+}
+
+// encodeRooted normalizes the tree rooted at r and emits the level-order
+// canonical string with '$' family separators and '#' terminator.
+func encodeRooted(g *graph.Graph, r graph.VertexID) string {
+	// Recursive canonical encodings drive the normalization order: a
+	// subtree's encoding is its label followed by its children's encodings
+	// sorted ascending. This is the bottom-up normalization of Fig 5.
+	n := g.NumVertices()
+	parent := make([]graph.VertexID, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	orderKey := make([]string, n)
+	var canon func(v, p graph.VertexID) string
+	canon = func(v, p graph.VertexID) string {
+		var kids []string
+		for _, w := range g.Neighbors(v) {
+			if w != p {
+				parent[w] = v
+				kids = append(kids, canon(w, v))
+			}
+		}
+		sort.Strings(kids)
+		var b strings.Builder
+		b.WriteString(g.Label(v))
+		b.WriteByte('(')
+		for _, k := range kids {
+			b.WriteString(k)
+		}
+		b.WriteByte(')')
+		orderKey[v] = b.String()
+		return orderKey[v]
+	}
+	canon(r, -1)
+
+	// Level-order scan of the normalized tree: children of each visited
+	// vertex sorted by canonical key form one sibling family.
+	var out strings.Builder
+	out.WriteString(g.Label(r))
+	queue := []graph.VertexID{r}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		var kids []graph.VertexID
+		for _, w := range g.Neighbors(v) {
+			if parent[w] == v {
+				kids = append(kids, w)
+			}
+		}
+		if len(kids) == 0 {
+			continue
+		}
+		sort.Slice(kids, func(i, j int) bool { return orderKey[kids[i]] < orderKey[kids[j]] })
+		out.WriteByte('$')
+		for _, k := range kids {
+			out.WriteString("1") // edge label (uniform "1" in this data model)
+			out.WriteString(g.Label(k))
+			queue = append(queue, k)
+		}
+	}
+	out.WriteByte('#')
+	return out.String()
+}

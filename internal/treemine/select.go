@@ -1,0 +1,129 @@
+package treemine
+
+// Feature selection over mined subtrees (Algorithm 2 line 2, Appendix B).
+//
+// A set of frequent subtrees often contains many near-duplicates. The paper
+// refines it by maximizing the monotone submodular facility-location
+// function
+//
+//	q(Tsel) = Σ_{i∈Tall} max_{j∈Tsel} σsubtree(i, j)
+//
+// with greedy search, which guarantees a (1 - 1/e) approximation. The
+// subtree similarity is σsubtree(i,j) = |lcs(i,j)| / max(|i|,|j|) over
+// canonical strings.
+
+// SubtreeSimilarity returns σsubtree of two canonical strings.
+func SubtreeSimilarity(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	m := len(a)
+	if len(b) > m {
+		m = len(b)
+	}
+	return float64(lcsLength(a, b)) / float64(m)
+}
+
+// lcsLength computes the longest-common-subsequence length of two strings
+// with the O(len(a)·len(b)) dynamic program using two rolling rows.
+func lcsLength(a, b string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// SelectFeatures greedily picks at most k trees from all maximizing the
+// facility-location objective. If k <= 0 or k >= len(all), all trees are
+// returned. The greedy loop stops early once the marginal gain drops to
+// zero (every remaining tree is already perfectly represented).
+func SelectFeatures(all []*FrequentTree, k int) []*FrequentTree {
+	if k <= 0 || k >= len(all) {
+		return all
+	}
+	n := len(all)
+	// Pairwise similarities; n is small (tens to low hundreds).
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+		for j := range sim[i] {
+			if i == j {
+				sim[i][j] = 1
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := SubtreeSimilarity(all[i].Canon, all[j].Canon)
+			sim[i][j] = s
+			sim[j][i] = s
+		}
+	}
+
+	best := make([]float64, n) // current max similarity of each tree to Tsel
+	chosen := make([]bool, n)
+	var sel []*FrequentTree
+	for len(sel) < k {
+		bestGain := 0.0
+		bestIdx := -1
+		for cand := 0; cand < n; cand++ {
+			if chosen[cand] {
+				continue
+			}
+			gain := 0.0
+			for i := 0; i < n; i++ {
+				if d := sim[i][cand] - best[i]; d > 0 {
+					gain += d
+				}
+			}
+			if gain > bestGain {
+				bestGain = gain
+				bestIdx = cand
+			}
+		}
+		if bestIdx < 0 {
+			break // zero marginal gain everywhere
+		}
+		chosen[bestIdx] = true
+		sel = append(sel, all[bestIdx])
+		for i := 0; i < n; i++ {
+			if sim[i][bestIdx] > best[i] {
+				best[i] = sim[i][bestIdx]
+			}
+		}
+	}
+	return sel
+}
+
+// Coverage evaluates q(Tsel)/|Tall|, the normalized facility-location
+// objective, useful for diagnostics and tests.
+func Coverage(all, sel []*FrequentTree) float64 {
+	if len(all) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, t := range all {
+		best := 0.0
+		for _, s := range sel {
+			if v := SubtreeSimilarity(t.Canon, s.Canon); v > best {
+				best = v
+			}
+		}
+		total += best
+	}
+	return total / float64(len(all))
+}

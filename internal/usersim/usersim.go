@@ -1,0 +1,123 @@
+// Package usersim simulates the human participants of the paper's user
+// studies (Exp 4: query formulation time; Exp 10: cognitive-load response
+// time). Real subjects are unavailable to a reproduction, so both studies
+// substitute a seeded stochastic user model whose structure embeds the
+// paper's empirical findings: formulation time is dominated by the number
+// of steps plus a pattern-search overhead growing with the displayed
+// patterns' total cognitive load, and pattern-comprehension time grows
+// with the density-based load measure F1 (Sec 3.2, Exp 10). The model's
+// purpose is to preserve the *shape* of the results, not to claim
+// human-subject numbers.
+package usersim
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/queryform"
+)
+
+// User is a simulated study participant.
+type User struct {
+	rng *rand.Rand
+	// per-action base times in seconds; randomized per user around the
+	// defaults to model skill differences.
+	dragTime    float64 // drag a canned pattern onto the canvas
+	vertexTime  float64 // add one vertex
+	edgeTime    float64 // add one edge
+	relabelTime float64 // relabel one vertex
+	scanRate    float64 // seconds per unit of panel cognitive load scanned
+}
+
+// NewUser creates a participant with speed parameters jittered around the
+// defaults (±30%).
+func NewUser(seed int64) *User {
+	rng := rand.New(rand.NewSource(seed))
+	jitter := func(base float64) float64 { return base * (0.7 + 0.6*rng.Float64()) }
+	return &User{
+		rng:         rng,
+		dragTime:    jitter(2.5),
+		vertexTime:  jitter(1.5),
+		edgeTime:    jitter(2.0),
+		relabelTime: jitter(1.2),
+		scanRate:    jitter(0.25),
+	}
+}
+
+// FormulationResult is one simulated query-formulation trial.
+type FormulationResult struct {
+	Steps   int     // steps taken (paper's "steps taken" in Fig 10)
+	Seconds float64 // query formulation time (QFT)
+}
+
+// Formulate simulates constructing query q with the given pattern panel.
+// unlabeled selects the commercial-GUI cost model where pattern vertices
+// must be relabeled after each drag.
+func (u *User) Formulate(q *graph.Graph, panel []*graph.Graph, unlabeled bool) FormulationResult {
+	var r queryform.StepResult
+	if unlabeled {
+		r = queryform.StepsUnlabeled(q, panel)
+	} else {
+		r = queryform.Steps(q, panel)
+	}
+
+	// Panel scan cost: before each pattern use the participant visually
+	// searches the panel; scanning time grows with the total cognitive
+	// load of displayed patterns (Sec 3.1: users "search a long list of
+	// these patterns").
+	panelLoad := 0.0
+	for _, p := range panel {
+		panelLoad += p.CognitiveLoad()
+	}
+	searchTime := float64(r.PatternsUsed) * u.scanRate * panelLoad
+
+	// Step execution time. StepP counts pattern drags, vertex adds, edge
+	// adds and relabels; the step model reports the relabel count exactly.
+	drags := r.PatternsUsed
+	relabels := r.Relabels
+	remaining := r.StepP - drags - relabels
+	if remaining < 0 {
+		remaining = 0
+	}
+	// Split the remaining steps between vertex and edge additions using
+	// the query's vertex/edge ratio.
+	vFrac := float64(q.NumVertices()) / float64(q.NumVertices()+q.NumEdges())
+	vSteps := int(float64(remaining) * vFrac)
+	eSteps := remaining - vSteps
+
+	t := searchTime +
+		float64(drags)*u.dragTime +
+		float64(relabels)*u.relabelTime +
+		float64(vSteps)*u.vertexTime +
+		float64(eSteps)*u.edgeTime
+	// Per-trial noise (±10%).
+	t *= 0.9 + 0.2*u.rng.Float64()
+	return FormulationResult{Steps: r.StepP, Seconds: t}
+}
+
+// ---------------------------------------------------------------------------
+// Exp 10: cognitive-load response model.
+
+// ComprehensionTime simulates the time (seconds) a participant takes to
+// decide whether pattern p is useful for formulating a query. Decision
+// time grows with the density-based cognitive load F1 = |Ep|·ρp — the
+// paper's empirically best measure — plus participant noise.
+func (u *User) ComprehensionTime(p *graph.Graph) float64 {
+	f1 := p.CognitiveLoad()
+	base := 2.0 + 1.8*f1
+	return base * (0.85 + 0.3*u.rng.Float64())
+}
+
+// F1 is the density-based cognitive load measure (Sec 3.2).
+func F1(p *graph.Graph) float64 { return p.CognitiveLoad() }
+
+// F2 is the degree-based measure Σ deg(v) = 2|Ep| (Exp 10).
+func F2(p *graph.Graph) float64 { return 2 * float64(p.NumEdges()) }
+
+// F3 is the average-degree measure 2|Ep|/|Vp| (Exp 10).
+func F3(p *graph.Graph) float64 {
+	if p.NumVertices() == 0 {
+		return 0
+	}
+	return 2 * float64(p.NumEdges()) / float64(p.NumVertices())
+}

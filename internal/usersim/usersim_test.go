@@ -1,0 +1,171 @@
+package usersim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+func pathGraph(labels ...string) *graph.Graph {
+	g := graph.New(len(labels), len(labels)-1)
+	for _, l := range labels {
+		g.AddVertex(l)
+	}
+	for i := 1; i < len(labels); i++ {
+		g.MustAddEdge(graph.VertexID(i-1), graph.VertexID(i))
+	}
+	return g
+}
+
+func ring(n int, label string) *graph.Graph {
+	g := graph.New(n, n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(label)
+	}
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(graph.VertexID(i), graph.VertexID((i+1)%n))
+	}
+	return g
+}
+
+func clique(n int) *graph.Graph {
+	g := graph.New(n, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		g.AddVertex("C")
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	return g
+}
+
+func TestFormulateDeterministicPerSeed(t *testing.T) {
+	q := ring(6, "C")
+	panel := []*graph.Graph{pathGraph("C", "C", "C")}
+	a := NewUser(5).Formulate(q, panel, false)
+	b := NewUser(5).Formulate(q, panel, false)
+	if a != b {
+		t.Errorf("same seed produced different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestFormulatePatternsReduceTime(t *testing.T) {
+	q := ring(6, "C")
+	good := []*graph.Graph{ring(6, "C")}
+	// Average over users to wash out jitter.
+	var withP, without float64
+	const users = 20
+	for s := int64(0); s < users; s++ {
+		withP += NewUser(s).Formulate(q, good, false).Seconds
+		without += NewUser(s).Formulate(q, nil, false).Seconds
+	}
+	if withP >= without {
+		t.Errorf("patterns did not reduce mean QFT: %v vs %v", withP/users, without/users)
+	}
+}
+
+func TestFormulateStepsMatchModel(t *testing.T) {
+	q := ring(6, "C")
+	panel := []*graph.Graph{ring(6, "C")}
+	r := NewUser(1).Formulate(q, panel, false)
+	if r.Steps != 1 {
+		t.Errorf("Steps = %d, want 1 (single drag)", r.Steps)
+	}
+	if r.Seconds <= 0 {
+		t.Errorf("Seconds = %v, want positive", r.Seconds)
+	}
+}
+
+func TestFormulateUnlabeledSlower(t *testing.T) {
+	q := ring(6, "C")
+	labeled := []*graph.Graph{ring(6, "C")}
+	unlabeled := []*graph.Graph{ring(6, "*")}
+	var lab, unl float64
+	const users = 20
+	for s := int64(0); s < users; s++ {
+		lab += NewUser(s).Formulate(q, labeled, false).Seconds
+		unl += NewUser(s).Formulate(q, unlabeled, true).Seconds
+	}
+	if unl <= lab {
+		t.Errorf("unlabeled GUI should be slower on average: %v vs %v", unl/users, lab/users)
+	}
+}
+
+func TestCognitiveMeasures(t *testing.T) {
+	p := pathGraph("C", "C", "C") // |V|=3 |E|=2: F1 = 2·(4/6)=4/3, F2=4, F3=4/3
+	if got := F1(p); !closeF(got, 4.0/3.0) {
+		t.Errorf("F1 = %v", got)
+	}
+	if got := F2(p); got != 4 {
+		t.Errorf("F2 = %v", got)
+	}
+	if got := F3(p); !closeF(got, 4.0/3.0) {
+		t.Errorf("F3 = %v", got)
+	}
+	empty := graph.New(0, 0)
+	if F3(empty) != 0 {
+		t.Error("F3 of empty graph should be 0")
+	}
+}
+
+func TestComprehensionTimeGrowsWithDensity(t *testing.T) {
+	sparse := pathGraph("C", "C", "C", "C", "C")
+	dense := clique(4)
+	var ts, td float64
+	const users = 30
+	for s := int64(0); s < users; s++ {
+		u := NewUser(s)
+		ts += u.ComprehensionTime(sparse)
+		td += u.ComprehensionTime(dense)
+	}
+	if td <= ts {
+		t.Errorf("clique should take longer than path: %v vs %v", td/users, ts/users)
+	}
+}
+
+// TestF1RanksBestAgainstSimulatedTimes reproduces the core of Exp 10 in
+// miniature: F1's ranking of patterns should correlate with simulated
+// response times at least as well as F2's.
+func TestF1RanksBestAgainstSimulatedTimes(t *testing.T) {
+	patterns := []*graph.Graph{
+		pathGraph("C", "C", "C", "C"),
+		ring(4, "C"),
+		ring(6, "C"),
+		clique(4),
+		pathGraph("C", "O", "N", "S", "C", "C"),
+		clique(5),
+	}
+	var avgTimes []float64
+	for _, p := range patterns {
+		total := 0.0
+		for s := int64(0); s < 15; s++ {
+			total += NewUser(s).ComprehensionTime(p)
+		}
+		avgTimes = append(avgTimes, total/15)
+	}
+	f1s := make([]float64, len(patterns))
+	f2s := make([]float64, len(patterns))
+	for i, p := range patterns {
+		f1s[i] = F1(p)
+		f2s[i] = F2(p)
+	}
+	tau1 := stats.KendallTau(stats.Ranks(avgTimes), stats.Ranks(f1s))
+	tau2 := stats.KendallTau(stats.Ranks(avgTimes), stats.Ranks(f2s))
+	if tau1 < tau2 {
+		t.Errorf("F1 tau (%v) should be >= F2 tau (%v)", tau1, tau2)
+	}
+	if tau1 < 0.5 {
+		t.Errorf("F1 tau = %v, want strong correlation", tau1)
+	}
+}
+
+func closeF(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

@@ -1,0 +1,205 @@
+// Package webui serves a minimal visual-graph-query-style pattern panel
+// over HTTP: the canned patterns selected by CATAPULT rendered as SVG
+// cards with their score breakdowns, plus JSON and DOT endpoints for
+// downstream tooling. cmd/guiserve wires it to a database.
+package webui
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gindex"
+	"repro/internal/graph"
+	"repro/internal/layout"
+)
+
+// PatternView is the JSON projection of a selected pattern.
+type PatternView struct {
+	Index    int     `json:"index"`
+	Vertices int     `json:"vertices"`
+	Edges    int     `json:"edges"`
+	Score    float64 `json:"score"`
+	Ccov     float64 `json:"ccov"`
+	Lcov     float64 `json:"lcov"`
+	Div      float64 `json:"div"`
+	Cog      float64 `json:"cog"`
+	Text     string  `json:"text"`
+}
+
+// Server exposes a selected pattern set, and optionally subgraph search
+// over the underlying database.
+type Server struct {
+	DatasetName string
+	Patterns    []*core.Pattern
+	index       *gindex.Index
+	mux         *http.ServeMux
+}
+
+// NewServer builds the handler set for the given selection result.
+func NewServer(datasetName string, patterns []*core.Pattern) *Server {
+	s := &Server{DatasetName: datasetName, Patterns: patterns, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/pattern/", s.handlePattern)
+	s.mux.HandleFunc("/api/patterns.json", s.handleJSON)
+	s.mux.HandleFunc("/api/search", s.handleSearch)
+	return s
+}
+
+// EnableSearch attaches a subgraph-search index so POST /api/search can
+// answer queries against the database the patterns were mined from.
+func (s *Server) EnableSearch(idx *gindex.Index) { s.index = idx }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+var indexTemplate = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>CATAPULT patterns — {{.Dataset}}</title>
+<style>
+body { font-family: sans-serif; margin: 2em; background: #fafafa; }
+h1 { font-size: 1.3em; }
+.panel { display: flex; flex-wrap: wrap; gap: 12px; }
+.card { background: white; border: 1px solid #ddd; border-radius: 6px; padding: 8px; width: 180px; }
+.card .meta { font-size: 0.72em; color: #555; margin-top: 4px; }
+</style></head><body>
+<h1>Canned pattern panel — {{.Dataset}} ({{len .Patterns}} patterns)</h1>
+<p>Drag targets a visual query builder would expose; scores follow Eq 2 of the paper.</p>
+<div class="panel">
+{{range .Patterns}}
+  <div class="card">
+    <img src="/pattern/{{.Index}}.svg" width="160" height="160" alt="pattern {{.Index}}">
+    <div class="meta">#{{.Index}} &middot; |V|={{.Vertices}} |E|={{.Edges}}<br>
+    score={{printf "%.4f" .Score}}<br>
+    ccov={{printf "%.3f" .Ccov}} lcov={{printf "%.3f" .Lcov}}<br>
+    div={{printf "%.0f" .Div}} cog={{printf "%.2f" .Cog}}</div>
+  </div>
+{{end}}
+</div>
+<p><a href="/api/patterns.json">patterns.json</a></p>
+</body></html>`))
+
+func (s *Server) views() []PatternView {
+	out := make([]PatternView, len(s.Patterns))
+	for i, p := range s.Patterns {
+		out[i] = PatternView{
+			Index:    i,
+			Vertices: p.Graph.NumVertices(),
+			Edges:    p.Graph.NumEdges(),
+			Score:    p.Score,
+			Ccov:     p.Ccov,
+			Lcov:     p.Lcov,
+			Div:      p.Div,
+			Cog:      p.Cog,
+			Text:     p.Graph.String(),
+		}
+	}
+	return out
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	var buf bytes.Buffer
+	err := indexTemplate.Execute(&buf, struct {
+		Dataset  string
+		Patterns []PatternView
+	}{s.DatasetName, s.views()})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handlePattern serves /pattern/<i>.svg and /pattern/<i>.dot.
+func (s *Server) handlePattern(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/pattern/")
+	var (
+		idx int
+		ext string
+		err error
+	)
+	switch {
+	case strings.HasSuffix(rest, ".svg"):
+		ext = "svg"
+		idx, err = strconv.Atoi(strings.TrimSuffix(rest, ".svg"))
+	case strings.HasSuffix(rest, ".dot"):
+		ext = "dot"
+		idx, err = strconv.Atoi(strings.TrimSuffix(rest, ".dot"))
+	default:
+		http.NotFound(w, r)
+		return
+	}
+	if err != nil || idx < 0 || idx >= len(s.Patterns) {
+		http.NotFound(w, r)
+		return
+	}
+	g := s.Patterns[idx].Graph
+	switch ext {
+	case "svg":
+		w.Header().Set("Content-Type", "image/svg+xml")
+		_, _ = fmt.Fprint(w, layout.SVG(g, layout.SVGOptions{Size: 160, Seed: int64(idx)}))
+	case "dot":
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		_ = graph.WriteDOT(w, g, fmt.Sprintf("pattern%d", idx))
+	}
+}
+
+// handleSearch answers POST /api/search: the body is one query graph in
+// transaction text format; the response lists matching graph indices with
+// one witness embedding each.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if s.index == nil {
+		http.Error(w, "search not enabled", http.StatusNotImplemented)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a query graph in transaction text format", http.StatusMethodNotAllowed)
+		return
+	}
+	qdb, err := graph.Read(io.LimitReader(r.Body, 1<<20), "query")
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad query: %v", err), http.StatusBadRequest)
+		return
+	}
+	if qdb.Len() != 1 {
+		http.Error(w, fmt.Sprintf("need exactly one query graph, got %d", qdb.Len()), http.StatusBadRequest)
+		return
+	}
+	type hit struct {
+		Graph     int   `json:"graph"`
+		Embedding []int `json:"embedding"`
+	}
+	var hits []hit
+	for _, res := range s.index.Search(qdb.Graph(0)) {
+		emb := make([]int, len(res.Embedding))
+		for i, v := range res.Embedding {
+			emb[i] = int(v)
+		}
+		hits = append(hits, hit{Graph: res.GraphIndex, Embedding: emb})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Matches int   `json:"matches"`
+		Hits    []hit `json:"hits"`
+	}{len(hits), hits})
+}
+
+func (s *Server) handleJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Dataset  string        `json:"dataset"`
+		Patterns []PatternView `json:"patterns"`
+	}{s.DatasetName, s.views()})
+}

@@ -1,0 +1,183 @@
+package webui
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gindex"
+	"repro/internal/graph"
+)
+
+func testPatterns() []*core.Pattern {
+	g1 := graph.New(3, 2)
+	c := g1.AddVertex("C")
+	o := g1.AddVertex("O")
+	n := g1.AddVertex("N")
+	g1.MustAddEdge(c, o)
+	g1.MustAddEdge(o, n)
+	g2 := graph.New(3, 3)
+	a := g2.AddVertex("C")
+	b := g2.AddVertex("C")
+	d := g2.AddVertex("C")
+	g2.MustAddEdge(a, b)
+	g2.MustAddEdge(b, d)
+	g2.MustAddEdge(d, a)
+	return []*core.Pattern{
+		{Graph: g1, Score: 0.5, Ccov: 0.4, Lcov: 1, Div: 1, Cog: 1.33},
+		{Graph: g2, Score: 0.3, Ccov: 0.2, Lcov: 0.9, Div: 3, Cog: 3},
+	}
+}
+
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestIndexPage(t *testing.T) {
+	s := NewServer("test-db", testPatterns())
+	rec := get(t, s, "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"test-db", "2 patterns", "/pattern/0.svg", "/pattern/1.svg", "score=0.5000"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+}
+
+func TestIndexNotFoundForOtherPaths(t *testing.T) {
+	s := NewServer("x", testPatterns())
+	if rec := get(t, s, "/nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("status %d, want 404", rec.Code)
+	}
+}
+
+func TestPatternSVG(t *testing.T) {
+	s := NewServer("x", testPatterns())
+	rec := get(t, s, "/pattern/0.svg")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "image/svg+xml" {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.HasPrefix(rec.Body.String(), "<svg") {
+		t.Error("body is not SVG")
+	}
+}
+
+func TestPatternDOT(t *testing.T) {
+	s := NewServer("x", testPatterns())
+	rec := get(t, s, "/pattern/1.dot")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "graph \"pattern1\"") {
+		t.Errorf("DOT body wrong: %s", rec.Body.String())
+	}
+}
+
+func TestPatternBadRequests(t *testing.T) {
+	s := NewServer("x", testPatterns())
+	for _, path := range []string{"/pattern/99.svg", "/pattern/-1.svg", "/pattern/abc.svg", "/pattern/0.png"} {
+		if rec := get(t, s, path); rec.Code != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", path, rec.Code)
+		}
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	// Database with one C-O-N path; query C-O must hit it.
+	g := graph.New(3, 2)
+	c := g.AddVertex("C")
+	o := g.AddVertex("O")
+	n := g.AddVertex("N")
+	g.MustAddEdge(c, o)
+	g.MustAddEdge(o, n)
+	db := graph.NewDB("sdb", []*graph.Graph{g})
+	idx := gindex.Build(db, gindex.Options{})
+
+	s := NewServer("sdb", testPatterns())
+	s.EnableSearch(idx)
+
+	body := "t # 0\nv 0 C\nv 1 O\ne 0 1\n"
+	req := httptest.NewRequest(http.MethodPost, "/api/search", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Matches int `json:"matches"`
+		Hits    []struct {
+			Graph     int   `json:"graph"`
+			Embedding []int `json:"embedding"`
+		} `json:"hits"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Matches != 1 || len(out.Hits) != 1 || out.Hits[0].Graph != 0 {
+		t.Errorf("search payload wrong: %+v", out)
+	}
+}
+
+func TestSearchEndpointErrors(t *testing.T) {
+	s := NewServer("x", testPatterns())
+	// Not enabled.
+	req := httptest.NewRequest(http.MethodPost, "/api/search", strings.NewReader("t # 0\nv 0 C\n"))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotImplemented {
+		t.Errorf("disabled search: status %d", rec.Code)
+	}
+	// Enabled: wrong method, bad body, multiple graphs.
+	db := graph.NewDB("d", []*graph.Graph{testPatterns()[0].Graph})
+	s.EnableSearch(gindex.Build(db, gindex.Options{}))
+	if rec := get(t, s, "/api/search"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET search: status %d", rec.Code)
+	}
+	req = httptest.NewRequest(http.MethodPost, "/api/search", strings.NewReader("garbage input"))
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad body: status %d", rec.Code)
+	}
+	two := "t # 0\nv 0 C\nt # 1\nv 0 C\n"
+	req = httptest.NewRequest(http.MethodPost, "/api/search", strings.NewReader(two))
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("two graphs: status %d", rec.Code)
+	}
+}
+
+func TestPatternsJSON(t *testing.T) {
+	s := NewServer("jsondb", testPatterns())
+	rec := get(t, s, "/api/patterns.json")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var out struct {
+		Dataset  string        `json:"dataset"`
+		Patterns []PatternView `json:"patterns"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad json: %v", err)
+	}
+	if out.Dataset != "jsondb" || len(out.Patterns) != 2 {
+		t.Errorf("payload wrong: %+v", out)
+	}
+	if out.Patterns[0].Edges != 2 || out.Patterns[1].Edges != 3 {
+		t.Errorf("pattern sizes wrong: %+v", out.Patterns)
+	}
+}

@@ -1,0 +1,143 @@
+package catapult
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/csg"
+	"repro/internal/graph"
+)
+
+// Maintainer supports incremental maintenance of canned patterns as the
+// underlying database evolves — the extension the paper sketches in Sec 1
+// ("it can be extended to support incremental maintenance of canned
+// patterns as the underlying data graphs evolve"). New graphs are assigned
+// to the existing cluster whose summary shares the most edge-label mass
+// with them (a cheap proxy for MCCS similarity); affected CSGs are rebuilt
+// and pattern selection — the cheap phase relative to clustering — is
+// rerun. Full reclustering happens only when a cluster outgrows the fine
+// clustering bound N.
+type Maintainer struct {
+	cfg      Config
+	db       *graph.DB
+	clusters [][]int
+	csgs     []*csg.CSG
+	patterns []*core.Pattern
+}
+
+// NewMaintainer runs the full pipeline once and returns a maintainer that
+// can absorb subsequent insertions incrementally.
+func NewMaintainer(db *graph.DB, cfg Config) (*Maintainer, error) {
+	res, err := Select(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Maintainer{
+		cfg:      cfg,
+		db:       res.WorkingDB,
+		clusters: res.Clusters,
+		csgs:     res.CSGs,
+		patterns: res.Patterns,
+	}, nil
+}
+
+// Patterns returns the current canned pattern set.
+func (m *Maintainer) Patterns() []*core.Pattern { return m.patterns }
+
+// DB returns the maintainer's current database.
+func (m *Maintainer) DB() *graph.DB { return m.db }
+
+// NumClusters returns the current cluster count.
+func (m *Maintainer) NumClusters() int { return len(m.clusters) }
+
+// AddGraphs inserts new data graphs, updates clustering and CSGs
+// incrementally and reselects patterns. It returns the pattern-selection
+// duration.
+func (m *Maintainer) AddGraphs(gs []*graph.Graph) (time.Duration, error) {
+	if len(gs) == 0 {
+		return 0, nil
+	}
+	base := m.db.Len()
+	all := append(append([]*graph.Graph(nil), m.db.Graphs...), gs...)
+	m.db = graph.NewDB(m.db.Name, all)
+
+	dirty := make(map[int]bool)
+	for i := range gs {
+		gi := base + i
+		ci := m.bestCluster(m.db.Graph(gi))
+		m.clusters[ci] = append(m.clusters[ci], gi)
+		dirty[ci] = true
+	}
+
+	// Split any cluster that outgrew N, using the configured fine
+	// clustering.
+	n := m.cfg.Clustering.N
+	if n <= 0 {
+		n = 20
+	}
+	var rebuilt [][]int
+	var toSplit []*cluster.Cluster
+	splitFrom := make(map[int]bool)
+	for ci, members := range m.clusters {
+		if len(members) > n && dirty[ci] {
+			toSplit = append(toSplit, &cluster.Cluster{Members: members})
+			splitFrom[ci] = true
+		}
+	}
+	if len(toSplit) > 0 {
+		split := cluster.Fine(m.db, toSplit, m.cfg.Clustering)
+		for ci, members := range m.clusters {
+			if !splitFrom[ci] {
+				rebuilt = append(rebuilt, members)
+			}
+		}
+		for _, c := range split {
+			rebuilt = append(rebuilt, c.Members)
+		}
+		m.clusters = rebuilt
+		// Splits invalidate cluster indexing; rebuild every CSG that
+		// changed membership. Conservatively rebuild all (still far
+		// cheaper than reclustering from scratch).
+		m.csgs = csg.BuildAll(m.db, m.clusters)
+	} else {
+		for ci := range dirty {
+			m.csgs[ci] = csg.Build(m.db, m.clusters[ci])
+		}
+	}
+
+	start := time.Now()
+	ctx := core.NewContext(m.db, m.csgs)
+	sel, err := core.Select(ctx, m.cfg.Budget, m.cfg.Selection)
+	if err != nil {
+		return 0, fmt.Errorf("catapult: reselect after insert: %w", err)
+	}
+	m.patterns = sel.Patterns
+	return time.Since(start), nil
+}
+
+// bestCluster picks the cluster whose CSG shares the most edge-label mass
+// with g: Σ over g's distinct edge labels of the label's support within
+// the CSG, normalized by cluster size.
+func (m *Maintainer) bestCluster(g *graph.Graph) int {
+	glabels := make(map[string]struct{})
+	for _, e := range g.Edges() {
+		glabels[g.EdgeLabel(e.U, e.V)] = struct{}{}
+	}
+	best, bestScore := 0, -1.0
+	for ci, c := range m.csgs {
+		score := 0.0
+		for e, ids := range c.EdgeGraphs {
+			l := c.G.EdgeLabel(e.U, e.V)
+			if _, ok := glabels[l]; ok {
+				score += float64(ids.Len())
+			}
+		}
+		score /= float64(len(c.Members) + 1)
+		if score > bestScore || (score == bestScore && ci < best) {
+			best, bestScore = ci, score
+		}
+	}
+	return best
+}
