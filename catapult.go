@@ -29,6 +29,7 @@
 package catapult
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/csg"
 	"repro/internal/graph"
+	"repro/internal/pipeline"
 	"repro/internal/sampling"
 	"repro/internal/treemine"
 )
@@ -83,10 +85,13 @@ func (c *Config) defaults() {
 		// Zero value: adopt the paper's recommended hybrid strategy.
 		c.Clustering.Strategy = cluster.HybridMCCS
 	}
-	if c.Clustering.Seed == 0 {
+	// Propagate the top-level seed only into sub-seeds that were never
+	// configured: SeedSet distinguishes a deliberate Seed of 0 (keep it)
+	// from the zero value (inherit c.Seed).
+	if c.Clustering.Seed == 0 && !c.Clustering.SeedSet {
 		c.Clustering.Seed = c.Seed
 	}
-	if c.Selection.Seed == 0 {
+	if c.Selection.Seed == 0 && !c.Selection.SeedSet {
 		c.Selection.Seed = c.Seed
 	}
 }
@@ -126,35 +131,65 @@ func (r *Result) PatternGraphs() []*graph.Graph {
 
 // Select runs the full CATAPULT pipeline on db.
 func Select(db *graph.DB, cfg Config) (*Result, error) {
+	return SelectCtx(context.Background(), db, cfg)
+}
+
+// SelectCtx runs the full CATAPULT pipeline under a context: every stage —
+// mining, clustering, CSG construction and pattern selection — checks
+// cancellation at its iteration boundaries, so a cancelled or timed-out ctx
+// aborts the run promptly with (nil, ctx.Err()) and no partial result.
+//
+// Progress is observable by installing a pipeline.Trace on the context with
+// pipeline.WithTrace before the call: the facade tees the caller's tracer
+// with an internal recorder, so external observers see every stage event and
+// counter while Result.ClusteringTime / PatternTime are populated from the
+// recorded stage durations (the umbrella StageClustering span and the
+// StageSelect span, matching the paper's clustering-time and PGT measures).
+func SelectCtx(stdctx context.Context, db *graph.DB, cfg Config) (*Result, error) {
 	cfg.defaults()
 	if db.Len() == 0 {
 		return nil, fmt.Errorf("catapult: empty database")
 	}
+	rec := pipeline.NewRecorder()
+	stdctx = pipeline.WithTrace(stdctx, pipeline.Tee(rec, pipeline.From(stdctx)))
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	clusterStart := time.Now()
 	var clusters []*cluster.Cluster
 	var effSizes []float64
-	if cfg.Sampling != nil {
-		clusters, effSizes = clusterWithSampling(db, cfg, rng)
-	} else {
-		clusters = cluster.Run(db, cfg.Clustering).Clusters
+	err := func() error {
+		done := pipeline.StartStage(stdctx, pipeline.StageClustering)
+		defer done()
+		if cfg.Sampling != nil {
+			var err error
+			clusters, effSizes, err = clusterWithSampling(stdctx, db, cfg, rng)
+			return err
+		}
+		res, err := cluster.RunCtx(stdctx, db, cfg.Clustering)
+		if err != nil {
+			return err
+		}
+		clusters = res.Clusters
 		effSizes = make([]float64, len(clusters))
 		for i, c := range clusters {
 			effSizes[i] = float64(c.Len())
 		}
+		return nil
+	}()
+	if err != nil {
+		return nil, err
 	}
-	clusteringTime := time.Since(clusterStart)
 
 	memberLists := make([][]int, len(clusters))
 	for i, c := range clusters {
 		memberLists[i] = c.Members
 	}
-	csgs := csg.BuildAll(db, memberLists)
+	csgs, err := csg.BuildAllCtx(stdctx, db, memberLists)
+	if err != nil {
+		return nil, err
+	}
 
-	patternStart := time.Now()
 	ctx := core.NewContextSized(db, csgs, effSizes)
-	sel, err := core.Select(ctx, cfg.Budget, cfg.Selection)
+	sel, err := core.SelectCtx(stdctx, ctx, cfg.Budget, cfg.Selection)
 	if err != nil {
 		return nil, err
 	}
@@ -164,8 +199,8 @@ func Select(db *graph.DB, cfg Config) (*Result, error) {
 		CSGs:           csgs,
 		EffectiveSizes: effSizes,
 		WorkingDB:      db,
-		ClusteringTime: clusteringTime,
-		PatternTime:    time.Since(patternStart),
+		ClusteringTime: rec.Duration(pipeline.StageClustering),
+		PatternTime:    rec.Duration(pipeline.StageSelect),
 		Exhausted:      sel.Exhausted,
 	}, nil
 }
@@ -184,7 +219,7 @@ func Select(db *graph.DB, cfg Config) (*Result, error) {
 //     (Lemma 4.5) before fine clustering and CSG generation; each final
 //     cluster carries the effective (pre-sampling) size so cluster
 //     weights still reflect true coverage.
-func clusterWithSampling(db *graph.DB, cfg Config, rng *rand.Rand) ([]*cluster.Cluster, []float64) {
+func clusterWithSampling(stdctx context.Context, db *graph.DB, cfg Config, rng *rand.Rand) ([]*cluster.Cluster, []float64, error) {
 	ccfg := cfg.Clustering
 	if ccfg.N <= 0 {
 		ccfg.N = 20
@@ -201,12 +236,17 @@ func clusterWithSampling(db *graph.DB, cfg Config, rng *rand.Rand) ([]*cluster.C
 
 	// Eager sampling for feature mining.
 	size := sampling.EagerSize(cfg.Sampling.Epsilon, cfg.Sampling.Rho)
-	features := func() []*treemine.FrequentTree {
+	features, err := func() ([]*treemine.FrequentTree, error) {
+		done := pipeline.StartStage(stdctx, pipeline.StageEagerSample)
+		defer done()
 		if size >= db.Len() {
-			mined := treemine.Mine(db, treemine.MineOptions{
+			mined, err := treemine.MineCtx(stdctx, db, treemine.MineOptions{
 				MinSupport: ccfg.MinSupport, MaxEdges: ccfg.MaxTreeEdges,
 			})
-			return treemine.SelectFeatures(mined, ccfg.MaxFeatures)
+			if err != nil {
+				return nil, err
+			}
+			return treemine.SelectFeatures(mined, ccfg.MaxFeatures), nil
 		}
 		idx := sampling.Eager(db.Len(), size, rng)
 		sampleDB := graph.NewDB(db.Name+"-eager", cloneAll(db.Subset("", idx).Graphs))
@@ -214,14 +254,26 @@ func clusterWithSampling(db *graph.DB, cfg Config, rng *rand.Rand) ([]*cluster.C
 		if lowFr <= 0 {
 			lowFr = ccfg.MinSupport / 2
 		}
-		mined := treemine.Mine(sampleDB, treemine.MineOptions{
+		mined, err := treemine.MineCtx(stdctx, sampleDB, treemine.MineOptions{
 			MinSupport: lowFr, MaxEdges: ccfg.MaxTreeEdges,
 		})
-		verified := treemine.Recount(db, mined, ccfg.MinSupport)
-		return treemine.SelectFeatures(verified, ccfg.MaxFeatures)
+		if err != nil {
+			return nil, err
+		}
+		verified, err := treemine.RecountCtx(stdctx, db, mined, ccfg.MinSupport)
+		if err != nil {
+			return nil, err
+		}
+		return treemine.SelectFeatures(verified, ccfg.MaxFeatures), nil
 	}()
+	if err != nil {
+		return nil, nil, err
+	}
 
-	coarse := cluster.CoarseWithFeatures(db, features, ccfg)
+	coarse, err := cluster.CoarseWithFeaturesCtx(stdctx, db, features, ccfg)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	// Lazy sampling of oversize clusters, tracking inflation factors so
 	// fine sub-clusters inherit proportional effective sizes.
@@ -230,6 +282,7 @@ func clusterWithSampling(db *graph.DB, cfg Config, rng *rand.Rand) ([]*cluster.C
 		inflate float64
 	}
 	var ls []lazied
+	endLazy := pipeline.StartStage(stdctx, pipeline.StageLazySample)
 	for _, c := range coarse {
 		sampled := sampling.Lazy(c.Members, db.Len(), cfg.Sampling.Z, cfg.Sampling.P, cfg.Sampling.E, rng)
 		inflate := 1.0
@@ -238,16 +291,21 @@ func clusterWithSampling(db *graph.DB, cfg Config, rng *rand.Rand) ([]*cluster.C
 		}
 		ls = append(ls, lazied{&cluster.Cluster{Members: sampled}, inflate})
 	}
+	endLazy()
 
 	var out []*cluster.Cluster
 	var sizes []float64
 	for _, l := range ls {
-		for _, fc := range cluster.Fine(db, []*cluster.Cluster{l.c}, ccfg) {
+		fcs, err := cluster.FineCtx(stdctx, db, []*cluster.Cluster{l.c}, ccfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, fc := range fcs {
 			out = append(out, fc)
 			sizes = append(sizes, float64(fc.Len())*l.inflate)
 		}
 	}
-	return out, sizes
+	return out, sizes, nil
 }
 
 func cloneAll(gs []*graph.Graph) []*graph.Graph {

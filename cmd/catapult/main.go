@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/freqmine"
 	"repro/internal/graph"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -38,6 +41,8 @@ func main() {
 		logFile = flag.String("log", "", "optional query-log file: boosts patterns frequent in past queries")
 		graphml = flag.Bool("graphml", false, "emit patterns as GraphML instead of transaction text")
 		basic   = flag.Int("basic", 0, "also select the top-m basic patterns (size ≤ 2, by support)")
+		timeout = flag.Duration("timeout", 0, "abort the pipeline after this duration (0 = no limit)")
+		trace   = flag.Bool("trace", false, "log pipeline stages and counters to stderr")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -80,7 +85,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "query log: %d queries (log-aware scoring enabled)\n", logDB.Len())
 	}
 
-	res, err := catapult.Select(db, cfg)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var lt *pipeline.LogTrace
+	if *trace {
+		lt = pipeline.NewLogTrace(os.Stderr)
+		ctx = pipeline.WithTrace(ctx, lt)
+	}
+
+	res, err := catapult.SelectCtx(ctx, db, cfg)
+	if lt != nil {
+		lt.WriteSummary()
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "catapult: aborted after -timeout %v (no partial result)\n", *timeout)
+		os.Exit(1)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,9 +28,15 @@ func main() {
 		scale   = flag.Int("scale", 50, "divide the paper's dataset sizes by this factor")
 		seed    = flag.Int64("seed", 42, "random seed")
 		queries = flag.Int("queries", 0, "workload size per dataset (0 = auto)")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
 	flag.Parse()
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, Queries: *queries}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		cfg.Ctx = ctx
+	}
 
 	if *exp == "all" {
 		start := time.Now()
@@ -37,6 +44,10 @@ func main() {
 			fmt.Println(rep)
 		}
 		fmt.Printf("total: %v\n", time.Since(start).Round(time.Second))
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "experiments: aborted after -timeout %v\n", *timeout)
+			os.Exit(1)
+		}
 		return
 	}
 	n, err := strconv.Atoi(*exp)

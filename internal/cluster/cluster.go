@@ -1,12 +1,14 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/mcs"
+	"repro/internal/pipeline"
 	"repro/internal/treemine"
 )
 
@@ -70,6 +72,10 @@ type Config struct {
 	MCSBudget int
 	// Seed drives k-means++ and fine-clustering seed choices.
 	Seed int64
+	// SeedSet marks Seed as explicitly chosen. The catapult facade only
+	// propagates its top-level Seed into a zero Seed when SeedSet is false,
+	// so a deliberate Seed of 0 is distinguishable from "not configured".
+	SeedSet bool
 }
 
 func (c *Config) defaults() {
@@ -101,20 +107,42 @@ type Result struct {
 // Run performs small graph clustering of db under the given configuration
 // (Algorithm 1, lines 1-2).
 func Run(db *graph.DB, cfg Config) *Result {
+	// context.Background is never cancelled, so RunCtx cannot fail here.
+	res, _ := RunCtx(context.Background(), db, cfg)
+	return res
+}
+
+// RunCtx is Run with cooperative cancellation and tracing: the coarse and
+// fine phases check ctx at iteration boundaries and report StageCoarse /
+// StageFine spans to the context's pipeline tracer. On cancellation it
+// returns (nil, ctx.Err()) — no partial clustering.
+func RunCtx(ctx context.Context, db *graph.DB, cfg Config) (*Result, error) {
 	cfg.defaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	switch cfg.Strategy {
 	case CoarseOnly:
-		cs, feats := coarse(db, cfg, rng)
-		return &Result{Clusters: cs, Features: feats}
+		cs, feats, err := coarse(ctx, db, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Clusters: cs, Features: feats}, nil
 	case FineOnlyMCCS, FineOnlyMCS:
 		all := &Cluster{Members: allIndices(db.Len())}
-		cs := fine(db, []*Cluster{all}, cfg, rng)
-		return &Result{Clusters: cs}
+		cs, err := fine(ctx, db, []*Cluster{all}, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Clusters: cs}, nil
 	case HybridMCCS, HybridMCS:
-		cs, feats := coarse(db, cfg, rng)
-		cs = fine(db, cs, cfg, rng)
-		return &Result{Clusters: cs, Features: feats}
+		cs, feats, err := coarse(ctx, db, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		cs, err = fine(ctx, db, cs, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Clusters: cs, Features: feats}, nil
 	default:
 		panic(fmt.Sprintf("cluster: unknown strategy %v", cfg.Strategy))
 	}
@@ -124,18 +152,34 @@ func Run(db *graph.DB, cfg Config) *Result {
 // clusters and selected subtree features. Exposed for pipelines that need
 // to intervene between the coarse and fine phases (lazy sampling, Sec 4.3).
 func Coarse(db *graph.DB, cfg Config) *Result {
+	res, _ := CoarseCtx(context.Background(), db, cfg)
+	return res
+}
+
+// CoarseCtx is Coarse with cooperative cancellation and tracing.
+func CoarseCtx(ctx context.Context, db *graph.DB, cfg Config) (*Result, error) {
 	cfg.defaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	cs, feats := coarse(db, cfg, rng)
-	return &Result{Clusters: cs, Features: feats}
+	cs, feats, err := coarse(ctx, db, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Clusters: cs, Features: feats}, nil
 }
 
 // Fine runs only the fine (Algorithm 3) phase on the given clusters,
 // splitting any cluster larger than cfg.N.
 func Fine(db *graph.DB, in []*Cluster, cfg Config) []*Cluster {
+	cs, _ := FineCtx(context.Background(), db, in, cfg)
+	return cs
+}
+
+// FineCtx is Fine with cooperative cancellation and tracing: ctx is checked
+// before every split and inside the MCS/MCCS similarity searches.
+func FineCtx(ctx context.Context, db *graph.DB, in []*Cluster, cfg Config) ([]*Cluster, error) {
 	cfg.defaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	return fine(db, in, cfg, rng)
+	return fine(ctx, db, in, cfg, rng)
 }
 
 // CoarseWithFeatures runs the k-means part of coarse clustering with an
@@ -143,16 +187,34 @@ func Fine(db *graph.DB, in []*Cluster, cfg Config) []*Cluster {
 // pipeline (Sec 4.3), where frequent subtrees are mined on a sample but
 // every graph of the full database is clustered.
 func CoarseWithFeatures(db *graph.DB, features []*treemine.FrequentTree, cfg Config) []*Cluster {
+	cs, _ := CoarseWithFeaturesCtx(context.Background(), db, features, cfg)
+	return cs
+}
+
+// CoarseWithFeaturesCtx is CoarseWithFeatures with cooperative cancellation
+// and tracing (StageCoarse).
+func CoarseWithFeaturesCtx(ctx context.Context, db *graph.DB, features []*treemine.FrequentTree, cfg Config) ([]*Cluster, error) {
 	cfg.defaults()
+	done := pipeline.StartStage(ctx, pipeline.StageCoarse)
+	defer done()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	if len(features) == 0 {
-		return []*Cluster{{Members: allIndices(db.Len())}}
+		return []*Cluster{{Members: allIndices(db.Len())}}, nil
 	}
-	k := db.Len() / cfg.N
+	bits, err := treemine.FeatureVectorsCtx(ctx, db, features)
+	if err != nil {
+		return nil, err
+	}
+	return kmeansClusters(bits, db.Len(), cfg, rng), nil
+}
+
+// kmeansClusters runs k-means over binary feature vectors and groups the
+// assignment into clusters ordered by cluster key.
+func kmeansClusters(bits [][]bool, dbLen int, cfg Config, rng *rand.Rand) []*Cluster {
+	k := dbLen / cfg.N
 	if k < 1 {
 		k = 1
 	}
-	bits := treemine.FeatureVectors(db, features)
 	vecs := make([]Vector, len(bits))
 	for i, b := range bits {
 		vecs[i] = FromBits(b)
@@ -184,51 +246,42 @@ func allIndices(n int) []int {
 
 // coarse implements Algorithm 2: mine frequent subtrees, refine them with
 // facility-location selection, build binary feature vectors, k-means.
-func coarse(db *graph.DB, cfg Config, rng *rand.Rand) ([]*Cluster, []*treemine.FrequentTree) {
-	all := treemine.Mine(db, treemine.MineOptions{
+func coarse(ctx context.Context, db *graph.DB, cfg Config, rng *rand.Rand) ([]*Cluster, []*treemine.FrequentTree, error) {
+	done := pipeline.StartStage(ctx, pipeline.StageCoarse)
+	defer done()
+	all, err := treemine.MineCtx(ctx, db, treemine.MineOptions{
 		MinSupport: cfg.MinSupport,
 		MaxEdges:   cfg.MaxTreeEdges,
 	})
-	sel := treemine.SelectFeatures(all, cfg.MaxFeatures)
-	k := db.Len() / cfg.N
-	if k < 1 {
-		k = 1
+	if err != nil {
+		return nil, nil, err
 	}
+	sel := treemine.SelectFeatures(all, cfg.MaxFeatures)
 	if len(sel) == 0 {
 		// No frequent structure at all: a single cluster.
-		return []*Cluster{{Members: allIndices(db.Len())}}, nil
+		return []*Cluster{{Members: allIndices(db.Len())}}, nil, nil
 	}
-	bits := treemine.FeatureVectors(db, sel)
-	vecs := make([]Vector, len(bits))
-	for i, b := range bits {
-		vecs[i] = FromBits(b)
+	bits, err := treemine.FeatureVectorsCtx(ctx, db, sel)
+	if err != nil {
+		return nil, nil, err
 	}
-	assign := KMeans(vecs, k, rng, 0)
-	byCluster := map[int][]int{}
-	for i, c := range assign {
-		byCluster[c] = append(byCluster[c], i)
-	}
-	keys := make([]int, 0, len(byCluster))
-	for c := range byCluster {
-		keys = append(keys, c)
-	}
-	sort.Ints(keys)
-	var out []*Cluster
-	for _, c := range keys {
-		out = append(out, &Cluster{Members: byCluster[c]})
-	}
-	return out, sel
+	return kmeansClusters(bits, db.Len(), cfg, rng), sel, nil
 }
 
 // fine implements Algorithm 3: every cluster larger than N is split into
 // two around a random seed and the graph most dissimilar to it (by
 // MCS/MCCS similarity); splits repeat until all clusters are within N.
-func fine(db *graph.DB, in []*Cluster, cfg Config, rng *rand.Rand) []*Cluster {
-	similarity := func(a, b *graph.Graph) float64 {
+// ctx is checked before every split and inside each similarity search;
+// each split is counted as CounterClustersSplit.
+func fine(ctx context.Context, db *graph.DB, in []*Cluster, cfg Config, rng *rand.Rand) ([]*Cluster, error) {
+	endStage := pipeline.StartStage(ctx, pipeline.StageFine)
+	defer endStage()
+	tr := pipeline.From(ctx)
+	similarity := func(a, b *graph.Graph) (float64, error) {
 		if cfg.Strategy == FineOnlyMCS || cfg.Strategy == HybridMCS {
-			return mcs.SimilarityMCS(a, b, cfg.MCSBudget)
+			return mcs.SimilarityMCSCtx(ctx, a, b, cfg.MCSBudget)
 		}
-		return mcs.SimilarityMCCS(a, b, cfg.MCSBudget)
+		return mcs.SimilarityMCCSCtx(ctx, a, b, cfg.MCSBudget)
 	}
 
 	var done []*Cluster
@@ -242,8 +295,12 @@ func fine(db *graph.DB, in []*Cluster, cfg Config, rng *rand.Rand) []*Cluster {
 	}
 
 	for len(large) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cur := large[0]
 		large = large[1:]
+		tr.Add(pipeline.CounterClustersSplit, 1)
 
 		// Seed1: random member. Seed2: member most dissimilar to Seed1.
 		mi := rng.Intn(cur.Len())
@@ -259,7 +316,10 @@ func fine(db *graph.DB, in []*Cluster, cfg Config, rng *rand.Rand) []*Cluster {
 		seed2 := rest[0]
 		worst := 2.0
 		for _, m := range rest {
-			s := similarity(db.Graph(m), g1)
+			s, err := similarity(db.Graph(m), g1)
+			if err != nil {
+				return nil, err
+			}
 			sims[m] = s
 			if s < worst {
 				worst = s
@@ -274,7 +334,11 @@ func fine(db *graph.DB, in []*Cluster, cfg Config, rng *rand.Rand) []*Cluster {
 			if m == seed2 {
 				continue
 			}
-			if sims[m] > similarity(db.Graph(m), g2) {
+			s2, err := similarity(db.Graph(m), g2)
+			if err != nil {
+				return nil, err
+			}
+			if sims[m] > s2 {
 				c1.Members = append(c1.Members, m)
 			} else {
 				c2.Members = append(c2.Members, m)
@@ -291,5 +355,5 @@ func fine(db *graph.DB, in []*Cluster, cfg Config, rng *rand.Rand) []*Cluster {
 			}
 		}
 	}
-	return done
+	return done, nil
 }

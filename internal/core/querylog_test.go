@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/graph"
@@ -12,7 +13,11 @@ func TestQueryLogFrequency(t *testing.T) {
 		pathGraph("C", "C", "C", "C"), // contains p
 		pathGraph("N", "O", "S"),      // does not
 	}
-	if got := queryLogFrequency(p, log); got != 0.5 {
+	got, err := queryLogFrequency(context.Background(), p, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
 		t.Errorf("qfreq = %v, want 0.5", got)
 	}
 }
@@ -53,7 +58,11 @@ func TestSelectWithQueryLogPrefersLoggedStructures(t *testing.T) {
 	}
 	// The winner should be usable for the logged queries: it embeds in at
 	// least one log query.
-	found := queryLogFrequency(with.Patterns[0].Graph, log) > 0
+	qf, err := queryLogFrequency(context.Background(), with.Patterns[0].Graph, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := qf > 0
 	if !found {
 		t.Errorf("log-boosted selection chose a pattern absent from the log: %v",
 			with.Patterns[0].Graph)

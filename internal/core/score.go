@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/bitset"
 	"repro/internal/ged"
 	"repro/internal/graph"
@@ -11,13 +13,27 @@ import (
 // ccov(p, cw, C) = Σ_i cw_i · I[CSG_i contains p], with containment tested
 // by VF2 against the cluster summary graphs.
 func (ctx *Context) CCov(p *graph.Graph) float64 {
+	v, _ := ctx.ccovCtx(context.Background(), p)
+	return v
+}
+
+// ccovCtx is CCov with cooperative cancellation, checked inside each VF2
+// containment search (which also counts CounterVF2Calls on the tracer).
+func (sc *Context) ccovCtx(stdctx context.Context, p *graph.Graph) (float64, error) {
 	total := 0.0
-	for i, c := range ctx.CSGs {
-		if ctx.cw[i] > 0 && subiso.Contains(c.G, p) {
-			total += ctx.cw[i]
+	for i, c := range sc.CSGs {
+		if sc.cw[i] <= 0 {
+			continue
+		}
+		ok, err := subiso.ContainsCtx(stdctx, c.G, p)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			total += sc.cw[i]
 		}
 	}
-	return total
+	return total, nil
 }
 
 // LCov returns the label coverage of a single pattern:
@@ -75,46 +91,80 @@ func (ctx *Context) ScorePattern(p *graph.Graph, selected []*graph.Graph) (score
 // duplicate exclusion is handled by the caller, so a disabled diversity
 // term cannot re-admit duplicates.
 func (ctx *Context) scoreWith(p *graph.Graph, selected []*graph.Graph, opts Options) (score, ccov, lcov, div, cog float64) {
-	ccov = ctx.CCov(p)
-	lcov = ctx.LCov(p)
+	score, ccov, lcov, div, cog, _ = ctx.scoreWithCtx(context.Background(), p, selected, opts)
+	return score, ccov, lcov, div, cog
+}
+
+// scoreWithCtx is scoreWith with cooperative cancellation, threaded into
+// the VF2 coverage checks and the pruned min-GED diversity loop.
+func (sc *Context) scoreWithCtx(stdctx context.Context, p *graph.Graph, selected []*graph.Graph, opts Options) (score, ccov, lcov, div, cog float64, err error) {
+	ccov, err = sc.ccovCtx(stdctx, p)
+	if err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	lcov = sc.LCov(p)
 	cog = p.CognitiveLoad()
 	div = 1
 	if !opts.DisableDiversity && len(selected) > 0 {
-		d, _ := ged.MinDistance(p, selected)
+		d, _, derr := ged.MinDistanceCtx(stdctx, p, selected)
+		if derr != nil {
+			return 0, 0, 0, 0, 0, derr
+		}
 		div = float64(d)
 	}
 	score = ccov * lcov * div
 	if !opts.DisableCognitiveLoad {
 		if cog == 0 {
-			return 0, ccov, lcov, div, cog
+			return 0, ccov, lcov, div, cog, nil
 		}
 		score /= cog
 	}
 	if len(opts.QueryLog) > 0 {
-		score *= 1 + queryLogFrequency(p, opts.QueryLog)
+		qf, qerr := queryLogFrequency(stdctx, p, opts.QueryLog)
+		if qerr != nil {
+			return 0, 0, 0, 0, 0, qerr
+		}
+		score *= 1 + qf
 	}
-	return score, ccov, lcov, div, cog
+	return score, ccov, lcov, div, cog, nil
 }
 
 // queryLogFrequency returns the fraction of logged queries containing p.
-func queryLogFrequency(p *graph.Graph, log []*graph.Graph) float64 {
+func queryLogFrequency(stdctx context.Context, p *graph.Graph, log []*graph.Graph) (float64, error) {
 	hits := 0
 	for _, q := range log {
-		if subiso.Contains(q, p) {
+		ok, err := subiso.ContainsCtx(stdctx, q, p)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
 			hits++
 		}
 	}
-	return float64(hits) / float64(len(log))
+	return float64(hits) / float64(len(log)), nil
 }
 
 // UpdateWeights applies the multiplicative weights update (Sec 5, n = 0.5)
 // after pattern p is selected: cluster weights of CSGs containing p are
 // halved, and so are the weights of edge labels occurring in p.
 func (ctx *Context) UpdateWeights(p *graph.Graph) {
+	_ = ctx.updateWeightsCtx(context.Background(), p)
+}
+
+// updateWeightsCtx is UpdateWeights with cooperative cancellation threaded
+// into the per-CSG containment checks.
+func (sc *Context) updateWeightsCtx(stdctx context.Context, p *graph.Graph) error {
 	const n = 0.5
-	for i, c := range ctx.CSGs {
-		if ctx.cw[i] > 0 && subiso.Contains(c.G, p) {
-			ctx.cw[i] *= 1 - n
+	for i, c := range sc.CSGs {
+		if sc.cw[i] <= 0 {
+			continue
+		}
+		ok, err := subiso.ContainsCtx(stdctx, c.G, p)
+		if err != nil {
+			return err
+		}
+		if ok {
+			sc.cw[i] *= 1 - n
 		}
 	}
 	seen := make(map[string]struct{})
@@ -124,10 +174,11 @@ func (ctx *Context) UpdateWeights(p *graph.Graph) {
 			continue
 		}
 		seen[l] = struct{}{}
-		if _, ok := ctx.elw[l]; ok {
-			ctx.elw[l] *= 1 - n
+		if _, ok := sc.elw[l]; ok {
+			sc.elw[l] *= 1 - n
 		}
 	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------

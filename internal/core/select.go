@@ -1,21 +1,40 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
 	"repro/internal/canon"
 	"repro/internal/graph"
+	"repro/internal/pipeline"
 	"repro/internal/subiso"
 )
 
 // Select runs Algorithm 4: greedy, one canned pattern per iteration, until
 // the budget γ is met or no scoring candidate remains.
 func Select(ctx *Context, b Budget, opts Options) (*Result, error) {
+	// context.Background is never cancelled, so any error from SelectCtx is
+	// a budget validation error, which both variants surface identically.
+	return SelectCtx(context.Background(), ctx, b, opts)
+}
+
+// SelectCtx is Select with cooperative cancellation and tracing. The greedy
+// loop checks stdctx at every iteration boundary, and cancellation also
+// propagates into candidate generation (between walks), scoring (VF2 /
+// pruned-GED searches) and the weight update. The whole phase is reported
+// to the context's pipeline tracer as StageSelect, with candidates counted
+// as generated (every non-nil proposal), rejected (isomorphic duplicates)
+// and accepted (patterns added to the result). On cancellation it returns
+// (nil, stdctx.Err()) — no partial pattern set.
+func SelectCtx(stdctx context.Context, ctx *Context, b Budget, opts Options) (*Result, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
 	opts.defaults()
+	endStage := pipeline.StartStage(stdctx, pipeline.StageSelect)
+	defer endStage()
+	tr := pipeline.From(stdctx)
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	res := &Result{}
@@ -24,6 +43,9 @@ func Select(ctx *Context, b Budget, opts Options) (*Result, error) {
 	selectedSeen := make(map[string]struct{}) // canonical forms of selected patterns
 
 	for len(res.Patterns) < b.Gamma {
+		if err := stdctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Iterations++
 
 		sizes := openSizes(b, sizeCount)
@@ -50,16 +72,23 @@ func Select(ctx *Context, b Budget, opts Options) (*Result, error) {
 				if opts.BFSCandidates {
 					p = ctx.GenerateBFSCandidate(c, eta)
 				} else {
-					p = ctx.GenerateFCP(c, eta, opts.Walks, rng)
+					var err error
+					p, err = ctx.GenerateFCPCtx(stdctx, c, eta, opts.Walks, rng)
+					if err != nil {
+						return nil, err
+					}
 				}
 				if p == nil {
 					continue
 				}
+				tr.Add(pipeline.CounterCandidatesGenerated, 1)
 				cf := canon.String(p)
 				if _, dup := seen[cf]; dup {
+					tr.Add(pipeline.CounterCandidatesRejected, 1)
 					continue
 				}
 				if _, dup := selectedSeen[cf]; dup {
+					tr.Add(pipeline.CounterCandidatesRejected, 1)
 					continue
 				}
 				seen[cf] = struct{}{}
@@ -75,7 +104,10 @@ func Select(ctx *Context, b Budget, opts Options) (*Result, error) {
 		best := -1
 		var bestPattern *Pattern
 		for i, c := range cands {
-			score, ccov, lcov, div, cog := ctx.scoreWith(c.p, selectedGraphs, opts)
+			score, ccov, lcov, div, cog, err := ctx.scoreWithCtx(stdctx, c.p, selectedGraphs, opts)
+			if err != nil {
+				return nil, err
+			}
 			if score <= 0 {
 				continue
 			}
@@ -94,10 +126,13 @@ func Select(ctx *Context, b Budget, opts Options) (*Result, error) {
 		}
 
 		res.Patterns = append(res.Patterns, bestPattern)
+		tr.Add(pipeline.CounterCandidatesAccepted, 1)
 		selectedGraphs = append(selectedGraphs, bestPattern.Graph)
 		selectedSeen[canon.String(bestPattern.Graph)] = struct{}{}
 		sizeCount[bestPattern.Size()]++
-		ctx.UpdateWeights(bestPattern.Graph)
+		if err := ctx.updateWeightsCtx(stdctx, bestPattern.Graph); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }

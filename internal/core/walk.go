@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
 	"repro/internal/csg"
 	"repro/internal/graph"
+	"repro/internal/pipeline"
 )
 
 // EdgeWeights computes the weighted CSG of Algorithm 4 line 2: each closure
@@ -116,15 +118,30 @@ func weightedPick(es []graph.Edge, weights map[graph.Edge]float64, rng *rand.Ran
 // returned edge set is materialized as a pattern graph; nil when the CSG
 // cannot produce a connected pattern of exactly eta edges.
 func (ctx *Context) GenerateFCP(c *csg.CSG, eta, walks int, rng *rand.Rand) *graph.Graph {
-	weights := ctx.EdgeWeights(c)
+	// context.Background is never cancelled, so GenerateFCPCtx cannot fail.
+	p, _ := ctx.GenerateFCPCtx(context.Background(), c, eta, walks, rng)
+	return p
+}
+
+// GenerateFCPCtx is GenerateFCP with cooperative cancellation (checked
+// between walks) and tracing: every walk is counted as CounterWalks on the
+// context's pipeline tracer. Cancellation checks consume no randomness, so
+// an uncancelled run is bit-identical to GenerateFCP.
+func (sc *Context) GenerateFCPCtx(stdctx context.Context, c *csg.CSG, eta, walks int, rng *rand.Rand) (*graph.Graph, error) {
+	weights := sc.EdgeWeights(c)
+	tr := pipeline.From(stdctx)
 	freq := make(map[graph.Edge]int)
 	for i := 0; i < walks; i++ {
+		if err := stdctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, e := range randomWalkPCP(c, weights, eta, rng) {
 			freq[e]++
 		}
+		tr.Add(pipeline.CounterWalks, 1)
 	}
 	if len(freq) == 0 {
-		return nil
+		return nil, nil
 	}
 
 	// First edge: most frequent in the library.
@@ -162,10 +179,10 @@ func (ctx *Context) GenerateFCP(c *csg.CSG, eta, walks int, rng *rand.Rand) *gra
 		fcp = append(fcp, next)
 	}
 	if len(fcp) != eta {
-		return nil
+		return nil, nil
 	}
 	p, _ := c.G.EdgeSubgraph(fcp)
-	return p
+	return p, nil
 }
 
 // GenerateBFSCandidate is the DaVinci-style ablation generator [40]: a

@@ -13,10 +13,12 @@
 package csg
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/pipeline"
 )
 
 // IDSet is a set of data-graph indices.
@@ -57,6 +59,15 @@ type CSG struct {
 // Members are merged in ascending-size order so the closure grows from the
 // most typical small structure outward.
 func Build(db *graph.DB, members []int) *CSG {
+	// context.Background is never cancelled, so BuildCtx cannot fail here.
+	c, _ := BuildCtx(context.Background(), db, members)
+	return c
+}
+
+// BuildCtx is Build with cooperative cancellation, checked before each
+// member merge. Every merge is counted as CounterClosureMerges on the
+// context's pipeline tracer.
+func BuildCtx(ctx context.Context, db *graph.DB, members []int) (*CSG, error) {
 	ordered := append([]int(nil), members...)
 	sort.Slice(ordered, func(i, j int) bool {
 		a, b := db.Graph(ordered[i]), db.Graph(ordered[j])
@@ -66,15 +77,20 @@ func Build(db *graph.DB, members []int) *CSG {
 		return ordered[i] < ordered[j]
 	})
 
+	tr := pipeline.From(ctx)
 	c := &CSG{
 		G:          graph.New(16, 16),
 		EdgeGraphs: make(map[graph.Edge]IDSet),
 		Members:    append([]int(nil), members...),
 	}
 	for _, m := range ordered {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c.merge(db.Graph(m), m)
+		tr.Add(pipeline.CounterClosureMerges, 1)
 	}
-	return c
+	return c, nil
 }
 
 // merge integrates data graph g (with database index id) into the closure.
@@ -207,9 +223,29 @@ func (c *CSG) Compactness(t float64) float64 {
 // BuildAll summarizes every cluster of a clustering into CSGs, building
 // independent clusters in parallel.
 func BuildAll(db *graph.DB, clusters [][]int) []*CSG {
-	out := make([]*CSG, len(clusters))
-	par.For(len(clusters), func(i int) {
-		out[i] = Build(db, clusters[i])
-	})
+	out, _ := BuildAllCtx(context.Background(), db, clusters)
 	return out
+}
+
+// BuildAllCtx is BuildAll with cooperative cancellation and tracing: the
+// parallel per-cluster loop stops claiming clusters once ctx is cancelled,
+// in-flight closures abort at their next member merge, and the whole phase
+// is reported as StageCSG. On cancellation it returns (nil, ctx.Err()).
+func BuildAllCtx(ctx context.Context, db *graph.DB, clusters [][]int) ([]*CSG, error) {
+	done := pipeline.StartStage(ctx, pipeline.StageCSG)
+	defer done()
+	out := make([]*CSG, len(clusters))
+	errs := make([]error, len(clusters))
+	err := par.ForCtx(ctx, len(clusters), func(i int) {
+		out[i], errs[i] = BuildCtx(ctx, db, clusters[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return out, nil
 }

@@ -34,10 +34,14 @@ func Exp1(cfg Config) *Report {
 	for _, s := range sets {
 		for _, strat := range strategies {
 			start := time.Now()
-			res := cluster.Run(s.db, cluster.Config{
+			res, err := cluster.RunCtx(cfg.ctx(), s.db, cluster.Config{
 				Strategy: strat, N: 20, MinSupport: 0.1, Seed: cfg.Seed,
 				MCSBudget: 5000,
 			})
+			if err != nil {
+				rep.AddNote("%s/%s failed: %v", s.name, strat.String(), err)
+				continue
+			}
 			elapsed := time.Since(start)
 			x4, x5, x6 := compactness(s.db, res.Clusters)
 			rep.AddRow(s.name, strat.String(), dur(elapsed), f3(x4), f3(x5), f3(x6),

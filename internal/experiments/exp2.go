@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,10 +38,10 @@ type clusteredDB struct {
 
 var clusterCache = map[string]*clusteredDB{}
 
-func clusterOnce(db *graph.DB, sampled bool, seed int64) *clusteredDB {
+func clusterOnce(stdctx context.Context, db *graph.DB, sampled bool, seed int64) (*clusteredDB, error) {
 	key := fmt.Sprintf("%s|%v|%d", db.Name, sampled, seed)
 	if c, ok := clusterCache[key]; ok {
-		return c
+		return c, nil
 	}
 	var s *catapult.SamplingConfig
 	if sampled {
@@ -48,14 +49,14 @@ func clusterOnce(db *graph.DB, sampled bool, seed int64) *clusteredDB {
 	}
 	// Run the facade once with a trivial budget to capture the clustering
 	// artifacts and timing; the pattern phase at γ=1 is negligible.
-	res, err := catapult.Select(db, catapult.Config{
+	res, err := catapult.SelectCtx(stdctx, db, catapult.Config{
 		Budget:     core.Budget{EtaMin: 3, EtaMax: 3, Gamma: 1},
 		Clustering: cluster.Config{Strategy: cluster.HybridMCCS, N: 20, MinSupport: 0.1, MCSBudget: 5000},
 		Sampling:   s,
 		Seed:       seed,
 	})
 	if err != nil {
-		panic(fmt.Sprintf("experiments: clustering %s: %v", db.Name, err))
+		return nil, fmt.Errorf("experiments: clustering %s: %w", db.Name, err)
 	}
 	c := &clusteredDB{
 		memberLists: res.Clusters,
@@ -64,16 +65,21 @@ func clusterOnce(db *graph.DB, sampled bool, seed int64) *clusteredDB {
 		duration:    res.ClusteringTime,
 	}
 	clusterCache[key] = c
-	return c
+	return c, nil
 }
 
 // runPipeline runs the pipeline — clustering cached per dataset, pattern
 // selection fresh per budget — and evaluates the patterns on a workload.
-func runPipeline(db *graph.DB, queries []*graph.Graph, budget core.Budget, samplingCfg *catapult.SamplingConfig, seed int64) (*catapult.Result, queryform.SetMetrics, error) {
-	cd := clusterOnce(db, samplingCfg != nil, seed)
+// stdctx bounds every stage; a cancelled or expired context aborts with its
+// error and no partial result.
+func runPipeline(stdctx context.Context, db *graph.DB, queries []*graph.Graph, budget core.Budget, samplingCfg *catapult.SamplingConfig, seed int64) (*catapult.Result, queryform.SetMetrics, error) {
+	cd, err := clusterOnce(stdctx, db, samplingCfg != nil, seed)
+	if err != nil {
+		return nil, queryform.SetMetrics{}, err
+	}
 	ctx := core.NewContextSized(db, cd.csgs, cd.effSizes)
 	start := time.Now()
-	sel, err := core.Select(ctx, budget, core.Options{Walks: 20, TopCSGs: 40, Seed: seed})
+	sel, err := core.SelectCtx(stdctx, ctx, budget, core.Options{Walks: 20, TopCSGs: 40, Seed: seed})
 	if err != nil {
 		return nil, queryform.SetMetrics{}, err
 	}
@@ -117,7 +123,7 @@ func Exp2(cfg Config) *Report {
 			{"S", scaledSampling()},
 			{"noS", nil},
 		} {
-			res, m, err := runPipeline(s.db, queries, budget, mode.sampling, cfg.Seed)
+			res, m, err := runPipeline(cfg.ctx(), s.db, queries, budget, mode.sampling, cfg.Seed)
 			if err != nil {
 				rep.AddNote("%s%s failed: %v", s.name, mode.suffix, err)
 				continue

@@ -33,7 +33,7 @@ func Exp3(cfg Config) *Report {
 	for _, run := range runs {
 		queries := dataset.Queries(run.db, cfg.Queries, 4, 40, cfg.Seed+11)
 		budget := core.Budget{EtaMin: 3, EtaMax: 8, Gamma: run.capacity}
-		res, _, err := runPipeline(run.db, queries, budget, scaledSampling(), cfg.Seed)
+		res, _, err := runPipeline(cfg.ctx(), run.db, queries, budget, scaledSampling(), cfg.Seed)
 		if err != nil {
 			rep.AddNote("%s failed: %v", run.name, err)
 			continue

@@ -39,7 +39,7 @@ func Exp4(cfg Config) *Report {
 
 	for _, run := range runs {
 		budget := core.Budget{EtaMin: 3, EtaMax: 8, Gamma: run.cap}
-		res, _, err := runPipeline(run.db, nil, budget, scaledSampling(), cfg.Seed)
+		res, _, err := runPipeline(cfg.ctx(), run.db, nil, budget, scaledSampling(), cfg.Seed)
 		if err != nil {
 			rep.AddNote("%s failed: %v", run.name, err)
 			continue

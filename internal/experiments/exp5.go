@@ -26,7 +26,7 @@ func Exp5(cfg Config) *Report {
 	for _, s := range sets {
 		for _, p := range []int{5, 10, 20, 30} {
 			budget := core.Budget{EtaMin: 3, EtaMax: 12, Gamma: p}
-			res, _, err := runPipeline(s.db, nil, budget, scaledSampling(), cfg.Seed)
+			res, _, err := runPipeline(cfg.ctx(), s.db, nil, budget, scaledSampling(), cfg.Seed)
 			if err != nil {
 				rep.AddNote("%s |P|=%d failed: %v", s.name, p, err)
 				continue

@@ -41,7 +41,7 @@ func Exp6(cfg Config) *Report {
 	var baseSteps []queryform.StepResult
 	for i, n := range sizes {
 		db := gen(cfg.scaled(n))
-		res, m, err := runPipeline(db, queries, budget, scaledSampling(), cfg.Seed)
+		res, m, err := runPipeline(cfg.ctx(), db, queries, budget, scaledSampling(), cfg.Seed)
 		if err != nil {
 			rep.AddNote("size %d failed: %v", n, err)
 			continue

@@ -37,7 +37,7 @@ func Exp7(cfg Config) *Report {
 		queries := dataset.Queries(s.db, cfg.Queries, 4, 40, cfg.Seed+17)
 		for _, p := range []int{5, 10, 20, 30, 40} {
 			budget := core.Budget{EtaMin: 3, EtaMax: 12, Gamma: p}
-			res, m, err := runPipeline(s.db, queries, budget, scaledSampling(), cfg.Seed)
+			res, m, err := runPipeline(cfg.ctx(), s.db, queries, budget, scaledSampling(), cfg.Seed)
 			if err != nil {
 				rep.AddNote("%s |P|=%d failed: %v", s.name, p, err)
 				continue

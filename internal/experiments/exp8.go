@@ -22,7 +22,7 @@ func Exp8(cfg Config) *Report {
 		queries := dataset.Queries(s.db, cfg.Queries, 4, 40, cfg.Seed+19)
 		for _, etaMin := range []int{3, 5, 7, 9} {
 			budget := core.Budget{EtaMin: etaMin, EtaMax: 12, Gamma: gamma}
-			res, m, err := runPipeline(s.db, queries, budget, scaledSampling(), cfg.Seed)
+			res, m, err := runPipeline(cfg.ctx(), s.db, queries, budget, scaledSampling(), cfg.Seed)
 			if err != nil {
 				rep.AddNote("%s ηmin=%d failed: %v", s.name, etaMin, err)
 				continue
@@ -34,7 +34,7 @@ func Exp8(cfg Config) *Report {
 		}
 		for _, etaMax := range []int{5, 7, 9, 12} {
 			budget := core.Budget{EtaMin: 3, EtaMax: etaMax, Gamma: gamma}
-			res, m, err := runPipeline(s.db, queries, budget, scaledSampling(), cfg.Seed)
+			res, m, err := runPipeline(cfg.ctx(), s.db, queries, budget, scaledSampling(), cfg.Seed)
 			if err != nil {
 				rep.AddNote("%s ηmax=%d failed: %v", s.name, etaMax, err)
 				continue

@@ -27,7 +27,7 @@ func Exp9(cfg Config) *Report {
 
 	// CATAPULT patterns: |P| = 30 over sizes [3, 12] as in the paper.
 	budget := core.Budget{EtaMin: 3, EtaMax: 12, Gamma: 30}
-	res, _, err := runPipeline(db, nil, budget, scaledSampling(), cfg.Seed)
+	res, _, err := runPipeline(cfg.ctx(), db, nil, budget, scaledSampling(), cfg.Seed)
 	if err != nil {
 		rep.AddNote("pipeline failed: %v", err)
 		return rep

@@ -31,7 +31,9 @@ func Run(n int, cfg Config) (*Report, error) {
 	return r(cfg), nil
 }
 
-// RunAll executes every experiment in order.
+// RunAll executes every experiment in order. When cfg.Ctx is cancelled the
+// loop stops before the next experiment; the in-flight experiment aborts at
+// its next pipeline stage boundary.
 func RunAll(cfg Config) []*Report {
 	ids := make([]int, 0, len(Registry))
 	for id := range Registry {
@@ -40,6 +42,9 @@ func RunAll(cfg Config) []*Report {
 	sort.Ints(ids)
 	out := make([]*Report, 0, len(ids))
 	for _, id := range ids {
+		if cfg.ctx().Err() != nil {
+			break
+		}
 		out = append(out, Registry[id](cfg))
 	}
 	return out

@@ -21,9 +21,11 @@ package ged
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/pipeline"
 )
 
 // LowerBound returns GEDl(a, b) per Definition 5.1:
@@ -101,8 +103,16 @@ func Distance(a, b *graph.Graph) int {
 // empty it returns (0, 0) — by convention the first pattern added to an
 // empty set has no diversity constraint.
 func MinDistance(p *graph.Graph, ps []*graph.Graph) (minDist, fullComputations int) {
+	minDist, fullComputations, _ = MinDistanceCtx(context.Background(), p, ps)
+	return minDist, fullComputations
+}
+
+// MinDistanceCtx is MinDistance with cooperative cancellation, checked
+// before each full GED computation in the pruned loop. Full computations
+// are counted on the context's pipeline tracer (CounterGEDCalls).
+func MinDistanceCtx(ctx context.Context, p *graph.Graph, ps []*graph.Graph) (minDist, fullComputations int, err error) {
 	if len(ps) == 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
 	type cand struct {
 		g  *graph.Graph
@@ -113,14 +123,21 @@ func MinDistance(p *graph.Graph, ps []*graph.Graph) (minDist, fullComputations i
 		cands[i] = cand{q, LowerBound(p, q)}
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].lb < cands[j].lb })
+	tr := pipeline.From(ctx)
 	best := -1
 	n := 0
 	for _, c := range cands {
 		if best >= 0 && c.lb >= best {
 			break // remaining lower bounds are >= best: prune all
 		}
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return 0, n, cerr
+			}
+		}
 		d := Distance(p, c.g)
 		n++
+		tr.Add(pipeline.CounterGEDCalls, 1)
 		if best < 0 || d < best {
 			best = d
 		}
@@ -128,7 +145,7 @@ func MinDistance(p *graph.Graph, ps []*graph.Graph) (minDist, fullComputations i
 			break
 		}
 	}
-	return best, n
+	return best, n, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -19,9 +19,11 @@
 package mcs
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/pipeline"
 )
 
 // Pair is a correspondence between a vertex of G1 and a vertex of G2.
@@ -55,11 +57,27 @@ type searcher struct {
 	budget   int
 	nodes    int
 	minE     int
+	ctx      context.Context // optional; polled every ctxCheckMask+1 nodes
+	ctxErr   error
 }
+
+// ctxCheckMask throttles cancellation polling to once every 256 explored
+// search nodes.
+const ctxCheckMask = 0xff
 
 // MCCS returns a maximum connected common subgraph of g1 and g2 within the
 // given node budget (DefaultBudget if budget <= 0).
 func MCCS(g1, g2 *graph.Graph, budget int) Result {
+	r, _ := MCCSCtx(context.Background(), g1, g2, budget)
+	return r
+}
+
+// MCCSCtx is MCCS with cooperative cancellation: the backtracking search
+// polls ctx at node-expansion boundaries and returns ctx.Err() when
+// cancelled. Each call is counted on the context's pipeline tracer
+// (CounterMCSCalls).
+func MCCSCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (Result, error) {
+	pipeline.From(ctx).Add(pipeline.CounterMCSCalls, 1)
 	if budget <= 0 {
 		budget = DefaultBudget
 	}
@@ -70,6 +88,7 @@ func MCCS(g1, g2 *graph.Graph, budget int) Result {
 		m21:    fill(g2.NumVertices()),
 		budget: budget,
 		minE:   min(g1.NumEdges(), g2.NumEdges()),
+		ctx:    ctx,
 	}
 	// Try every label-compatible seed pair. To break the symmetry of
 	// re-discovering the same subgraph from different seeds, seeds are
@@ -79,21 +98,31 @@ func MCCS(g1, g2 *graph.Graph, budget int) Result {
 		s.place(p, 0)
 		s.extend()
 		s.unplace(p, 0)
-		if s.bestEdge >= s.minE || s.nodes >= s.budget {
+		if s.bestEdge >= s.minE || s.nodes >= s.budget || s.ctxErr != nil {
 			break
 		}
+	}
+	if s.ctxErr != nil {
+		return Result{}, s.ctxErr
 	}
 	return Result{
 		Pairs:     s.best,
 		Edges:     s.bestEdge,
 		Exhausted: s.nodes >= s.budget,
-	}
+	}, nil
 }
 
 // MCS returns a maximum common subgraph (possibly disconnected), computed as
 // a greedy union of MCCS components. The shared budget is split across
 // component searches.
 func MCS(g1, g2 *graph.Graph, budget int) Result {
+	r, _ := MCSCtx(context.Background(), g1, g2, budget)
+	return r
+}
+
+// MCSCtx is MCS with cooperative cancellation, checked between (and inside)
+// the component MCCS searches.
+func MCSCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (Result, error) {
 	if budget <= 0 {
 		budget = DefaultBudget
 	}
@@ -105,7 +134,10 @@ func MCS(g1, g2 *graph.Graph, budget int) Result {
 	total := 0
 	exhausted := false
 	for {
-		r := MCCS(h1, h2, budget)
+		r, err := MCCSCtx(ctx, h1, h2, budget)
+		if err != nil {
+			return Result{}, err
+		}
 		exhausted = exhausted || r.Exhausted
 		if r.Edges == 0 {
 			break
@@ -117,25 +149,45 @@ func MCS(g1, g2 *graph.Graph, budget int) Result {
 			h2.SetLabel(p.V2, tomb+"2") // distinct sentinels never match
 		}
 	}
-	return Result{Pairs: all, Edges: total, Exhausted: exhausted}
+	return Result{Pairs: all, Edges: total, Exhausted: exhausted}, nil
 }
 
 // SimilarityMCCS returns ωmccs(g1,g2) ∈ [0,1].
 func SimilarityMCCS(g1, g2 *graph.Graph, budget int) float64 {
+	s, _ := SimilarityMCCSCtx(context.Background(), g1, g2, budget)
+	return s
+}
+
+// SimilarityMCCSCtx is SimilarityMCCS with cooperative cancellation.
+func SimilarityMCCSCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (float64, error) {
 	m := min(g1.NumEdges(), g2.NumEdges())
 	if m == 0 {
-		return 0
+		return 0, nil
 	}
-	return float64(MCCS(g1, g2, budget).Edges) / float64(m)
+	r, err := MCCSCtx(ctx, g1, g2, budget)
+	if err != nil {
+		return 0, err
+	}
+	return float64(r.Edges) / float64(m), nil
 }
 
 // SimilarityMCS returns ωmcs(g1,g2) ∈ [0,1].
 func SimilarityMCS(g1, g2 *graph.Graph, budget int) float64 {
+	s, _ := SimilarityMCSCtx(context.Background(), g1, g2, budget)
+	return s
+}
+
+// SimilarityMCSCtx is SimilarityMCS with cooperative cancellation.
+func SimilarityMCSCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (float64, error) {
 	m := min(g1.NumEdges(), g2.NumEdges())
 	if m == 0 {
-		return 0
+		return 0, nil
 	}
-	return float64(MCS(g1, g2, budget).Edges) / float64(m)
+	r, err := MCSCtx(ctx, g1, g2, budget)
+	if err != nil {
+		return 0, err
+	}
+	return float64(r.Edges) / float64(m), nil
 }
 
 // Subgraph materializes the common subgraph described by r as a standalone
@@ -206,6 +258,14 @@ func (s *searcher) gain(p Pair) int {
 // extend grows the current connected mapping with candidate pairs adjacent
 // to it, exploring gain-descending and recording the best edge count seen.
 func (s *searcher) extend() {
+	if s.ctx != nil && s.nodes&ctxCheckMask == ctxCheckMask && s.ctxErr == nil {
+		if err := s.ctx.Err(); err != nil {
+			s.ctxErr = err
+		}
+	}
+	if s.ctxErr != nil {
+		return
+	}
 	s.nodes++
 	if s.curEdges > s.bestEdge {
 		s.bestEdge = s.curEdges
@@ -224,7 +284,7 @@ func (s *searcher) extend() {
 		s.place(c, g)
 		s.extend()
 		s.unplace(c, g)
-		if s.nodes >= s.budget || s.bestEdge >= s.minE {
+		if s.nodes >= s.budget || s.bestEdge >= s.minE || s.ctxErr != nil {
 			return
 		}
 	}

@@ -5,39 +5,106 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
 // For runs fn(i) for every i in [0, n), using up to GOMAXPROCS workers.
-// fn must not panic; it may write only to per-index state. For n <= 1 or a
-// single-CPU process the loop runs inline to avoid goroutine overhead.
+// fn may write only to per-index state. If fn panics in a worker, the panic
+// is recovered there and re-raised on the caller's goroutine after every
+// worker has exited — identical to the inline (single-worker) behavior.
+// For n <= 1 or a single-CPU process the loop runs inline to avoid
+// goroutine overhead.
 func For(n int, fn func(i int)) {
+	// context.Background is never cancelled, so ForCtx cannot return an
+	// error here (panics propagate directly).
+	_ = ForCtx(context.Background(), n, fn)
+}
+
+// ForCtx is For with cooperative cancellation: workers stop claiming new
+// indices once ctx is cancelled, already-started fn calls run to
+// completion, and every worker has exited before ForCtx returns (no leaked
+// goroutines). It returns nil when every index was processed and ctx.Err()
+// when the loop was cut short. Panics in fn are recovered in the worker and
+// re-raised on the caller's goroutine.
+func ForCtx(ctx context.Context, n int, fn func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := ctx.Done()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
-	var next int64 = -1
-	var wg sync.WaitGroup
+
+	var (
+		next      int64 = -1
+		processed int64
+		wg        sync.WaitGroup
+		panicMu   sync.Mutex
+		panicked  bool
+		panicVal  interface{}
+	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
+				panicMu.Lock()
+				stop := panicked
+				panicMu.Unlock()
+				if stop {
+					return
+				}
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
 				}
-				fn(i)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if !panicked {
+								panicked = true
+								panicVal = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+					atomic.AddInt64(&processed, 1)
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
+	if atomic.LoadInt64(&processed) != int64(n) {
+		return ctx.Err()
+	}
+	return nil
 }

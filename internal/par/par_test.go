@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -46,6 +48,128 @@ func TestForParallelPath(t *testing.T) {
 	if sum != want {
 		t.Errorf("sum = %d, want %d", sum, want)
 	}
+}
+
+func TestForCtxCompletesWithoutCancellation(t *testing.T) {
+	const n = 300
+	counts := make([]int64, n)
+	if err := ForCtx(context.Background(), n, func(i int) {
+		atomic.AddInt64(&counts[i], 1)
+	}); err != nil {
+		t.Fatalf("ForCtx = %v, want nil", err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForCtxNilContext(t *testing.T) {
+	called := int64(0)
+	if err := ForCtx(nil, 10, func(int) { atomic.AddInt64(&called, 1) }); err != nil { //nolint:staticcheck // nil ctx tolerated by design
+		t.Fatalf("ForCtx(nil ctx) = %v", err)
+	}
+	if called != 10 {
+		t.Errorf("called = %d, want 10", called)
+	}
+}
+
+func TestForCtxStopsOnCancellation(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 100000
+	var ran int64
+	err := ForCtx(ctx, n, func(i int) {
+		if atomic.AddInt64(&ran, 1) == 8 {
+			cancel() // cancel from inside the loop: deterministic mid-run cut
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForCtx = %v, want context.Canceled", err)
+	}
+	if r := atomic.LoadInt64(&ran); r >= n {
+		t.Errorf("cancellation did not cut the loop short: ran %d of %d", r, n)
+	}
+}
+
+func TestForCtxInlinePathStopsOnCancellation(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int
+	err := ForCtx(ctx, 1000, func(i int) {
+		ran++
+		if ran == 5 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForCtx = %v, want context.Canceled", err)
+	}
+	if ran != 5 {
+		t.Errorf("inline path ran %d items after cancellation at 5", ran)
+	}
+}
+
+func TestForCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := int64(0)
+	err := ForCtx(ctx, 50, func(int) { atomic.AddInt64(&called, 1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForCtx = %v, want context.Canceled", err)
+	}
+}
+
+func TestForRepanicsWorkerPanicOnCaller(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	defer func() {
+		r := recover()
+		if r != "boom-42" {
+			t.Errorf("recovered %v, want boom-42", r)
+		}
+	}()
+	For(500, func(i int) {
+		if i == 42 {
+			panic("boom-42")
+		}
+	})
+	t.Error("For returned instead of panicking")
+}
+
+func TestForRepanicsInlinePath(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	defer func() {
+		if r := recover(); r != "inline-boom" {
+			t.Errorf("recovered %v, want inline-boom", r)
+		}
+	}()
+	For(10, func(i int) {
+		if i == 3 {
+			panic("inline-boom")
+		}
+	})
+	t.Error("For returned instead of panicking")
+}
+
+func TestForCtxRepanicsWorkerPanic(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("ForCtx swallowed the worker panic")
+		}
+	}()
+	_ = ForCtx(context.Background(), 500, func(i int) {
+		if i == 7 {
+			panic(errors.New("worker exploded"))
+		}
+	})
+	t.Error("ForCtx returned instead of panicking")
 }
 
 func TestForOrderIndependentResultsProperty(t *testing.T) {

@@ -1,0 +1,149 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFromDefaultsToNop(t *testing.T) {
+	if From(nil) != Nop {
+		t.Error("From(nil) != Nop")
+	}
+	if From(context.Background()) != Nop {
+		t.Error("From(Background) != Nop")
+	}
+	if WithTrace(context.Background(), nil) == nil {
+		t.Fatal("WithTrace(nil) returned nil context")
+	}
+	if From(WithTrace(context.Background(), nil)) != Nop {
+		t.Error("WithTrace(nil) should install Nop")
+	}
+}
+
+func TestWithTraceRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	ctx := WithTrace(context.Background(), r)
+	if From(ctx) != Trace(r) {
+		t.Error("From did not return the installed trace")
+	}
+	From(ctx).Add(CounterWalks, 3)
+	if r.Total(CounterWalks) != 3 {
+		t.Errorf("counter = %d, want 3", r.Total(CounterWalks))
+	}
+}
+
+func TestStartStageRecordsSpan(t *testing.T) {
+	r := NewRecorder()
+	ctx := WithTrace(context.Background(), r)
+	done := StartStage(ctx, StageMine)
+	time.Sleep(time.Millisecond)
+	done()
+	done() // idempotent: second call must not emit another event
+	events := r.Events()
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	if events[0].Stage != StageMine || events[0].Duration <= 0 {
+		t.Errorf("bad event %+v", events[0])
+	}
+}
+
+func TestRecorderSequenceAndDurations(t *testing.T) {
+	r := NewRecorder()
+	r.StageStart(StageClustering)
+	r.StageStart(StageMine)
+	r.StageEnd(StageMine, 5*time.Millisecond)
+	r.StageEnd(StageClustering, 20*time.Millisecond)
+	r.StageStart(StageFine)
+	r.StageEnd(StageFine, time.Millisecond)
+	r.StageStart(StageFine)
+	r.StageEnd(StageFine, 2*time.Millisecond)
+
+	want := []Stage{StageMine, StageClustering, StageFine, StageFine}
+	got := r.Stages()
+	if len(got) != len(want) {
+		t.Fatalf("stages = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stages = %v, want %v", got, want)
+		}
+	}
+	if d := r.Duration(StageFine); d != 3*time.Millisecond {
+		t.Errorf("fine duration = %v, want 3ms (summed occurrences)", d)
+	}
+	if d := r.Duration(StageClustering); d != 20*time.Millisecond {
+		t.Errorf("clustering duration = %v", d)
+	}
+	if d := r.Duration(StageCSG); d != 0 {
+		t.Errorf("unrecorded stage duration = %v, want 0", d)
+	}
+}
+
+func TestRecorderConcurrentAdds(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add(CounterVF2Calls, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := r.Total(CounterVF2Calls); n != 8000 {
+		t.Errorf("total = %d, want 8000", n)
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee() != Nop {
+		t.Error("empty Tee != Nop")
+	}
+	if Tee(Nop, nil, Nop) != Nop {
+		t.Error("Tee of Nops != Nop")
+	}
+	a := NewRecorder()
+	if Tee(Nop, a) != Trace(a) {
+		t.Error("single-trace Tee should return the trace itself")
+	}
+	b := NewRecorder()
+	m := Tee(a, b)
+	m.StageStart(StageCSG)
+	m.StageEnd(StageCSG, time.Millisecond)
+	m.Add(CounterClosureMerges, 7)
+	for name, r := range map[string]*Recorder{"a": a, "b": b} {
+		if len(r.Events()) != 1 {
+			t.Errorf("%s: events = %d, want 1", name, len(r.Events()))
+		}
+		if r.Total(CounterClosureMerges) != 7 {
+			t.Errorf("%s: counter = %d, want 7", name, r.Total(CounterClosureMerges))
+		}
+	}
+}
+
+func TestLogTrace(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogTrace(&buf)
+	l.StageStart(StageClustering)
+	l.StageStart(StageMine)
+	l.Add(CounterTreesMined, 12)
+	l.StageEnd(StageMine, 3*time.Millisecond)
+	l.StageEnd(StageClustering, 9*time.Millisecond)
+	l.WriteSummary()
+	out := buf.String()
+	for _, want := range []string{
+		"> clustering", "  > mine", "  < mine", "< clustering",
+		"counter trees_mined = 12",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %q:\n%s", want, out)
+		}
+	}
+}

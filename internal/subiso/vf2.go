@@ -10,9 +10,11 @@
 package subiso
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/pipeline"
 )
 
 // Mapping maps pattern vertex IDs to target vertex IDs.
@@ -43,6 +45,34 @@ type state struct {
 	results []Mapping
 	yield   func(Mapping) bool // optional callback; return false to stop
 	stopped bool
+	ctx     context.Context // optional; checked every ctxCheckMask+1 nodes
+	ctxErr  error
+}
+
+// ctxCheckMask throttles cancellation polling: the context is consulted
+// once every 256 expanded search nodes, keeping the overhead of a
+// cancellable search negligible while bounding cancellation latency.
+const ctxCheckMask = 0xff
+
+// ContainsCtx is Contains with cooperative cancellation: the search polls
+// ctx at node-expansion boundaries and returns ctx.Err() when cancelled
+// before an answer was established. Each call is counted on the context's
+// pipeline tracer (CounterVF2Calls).
+func ContainsCtx(ctx context.Context, t, p *graph.Graph) (bool, error) {
+	pipeline.From(ctx).Add(pipeline.CounterVF2Calls, 1)
+	if quickReject(t, p) {
+		return false, nil
+	}
+	s := newState(t, p, Options{MaxSolutions: 1})
+	s.ctx = ctx
+	s.search(0)
+	if len(s.results) > 0 {
+		return true, nil
+	}
+	if s.ctxErr != nil {
+		return false, s.ctxErr
+	}
+	return false, nil
 }
 
 // Contains reports whether pattern p is subgraph-isomorphic to target t.
@@ -210,6 +240,13 @@ func (s *state) search(depth int) {
 	if s.opts.MaxNodes > 0 && s.nodes >= s.opts.MaxNodes {
 		s.stopped = true
 		return
+	}
+	if s.ctx != nil && s.nodes&ctxCheckMask == ctxCheckMask {
+		if err := s.ctx.Err(); err != nil {
+			s.ctxErr = err
+			s.stopped = true
+			return
+		}
 	}
 	s.nodes++
 	if depth == len(s.order) {

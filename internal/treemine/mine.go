@@ -1,10 +1,12 @@
 package treemine
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/pipeline"
 	"repro/internal/subiso"
 )
 
@@ -53,6 +55,27 @@ func (o *MineOptions) defaults() {
 // canonical-string deduplication and anti-monotone support pruning (a
 // child's support is counted only within its parent's supporting graphs).
 func Mine(db *graph.DB, opts MineOptions) []*FrequentTree {
+	// context.Background is never cancelled, so MineCtx cannot fail here.
+	trees, _ := MineCtx(context.Background(), db, opts)
+	return trees
+}
+
+// MineCtx is Mine with cooperative cancellation and tracing: the pattern
+// growth checks ctx between parent trees and returns ctx.Err() cleanly
+// (no partial result), and the run is reported to the context's pipeline
+// tracer as StageMine with CounterTreesMined.
+func MineCtx(ctx context.Context, db *graph.DB, opts MineOptions) ([]*FrequentTree, error) {
+	done := pipeline.StartStage(ctx, pipeline.StageMine)
+	defer done()
+	trees, err := mine(ctx, db, opts)
+	if err != nil {
+		return nil, err
+	}
+	pipeline.From(ctx).Add(pipeline.CounterTreesMined, int64(len(trees)))
+	return trees, nil
+}
+
+func mine(ctx context.Context, db *graph.DB, opts MineOptions) ([]*FrequentTree, error) {
 	opts.defaults()
 	minCount := int(opts.MinSupport*float64(db.Len()) + 0.999999)
 	if minCount < 1 {
@@ -131,6 +154,9 @@ func Mine(db *graph.DB, opts MineOptions) []*FrequentTree {
 	for size := 2; size <= opts.MaxEdges && len(level) > 0; size++ {
 		var next []*FrequentTree
 		for _, ft := range level {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for attach := 0; attach < ft.Pattern.NumVertices(); attach++ {
 				for _, nl := range freqLabels {
 					cand := ft.Pattern.Clone()
@@ -167,7 +193,7 @@ func Mine(db *graph.DB, opts MineOptions) []*FrequentTree {
 		sortTrees(all)
 		all = all[:opts.MaxTrees]
 	}
-	return all
+	return all, ctx.Err()
 }
 
 // sortTrees orders by support descending, then canon ascending for
@@ -186,12 +212,22 @@ func sortTrees(ts []*FrequentTree) {
 // mined on a sample at a lowered threshold low_fr, then verified against
 // the full database at the original threshold min_fr.
 func Recount(db *graph.DB, trees []*FrequentTree, minSupport float64) []*FrequentTree {
+	out, _ := RecountCtx(context.Background(), db, trees, minSupport)
+	return out
+}
+
+// RecountCtx is Recount with cooperative cancellation, checked between
+// trees (each tree costs one VF2 containment test per database graph).
+func RecountCtx(ctx context.Context, db *graph.DB, trees []*FrequentTree, minSupport float64) ([]*FrequentTree, error) {
 	minCount := int(minSupport*float64(db.Len()) + 0.999999)
 	if minCount < 1 {
 		minCount = 1
 	}
 	var out []*FrequentTree
 	for _, t := range trees {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var sup []int
 		for gi, g := range db.Graphs {
 			if subiso.Contains(g, t.Pattern) {
@@ -203,7 +239,7 @@ func Recount(db *graph.DB, trees []*FrequentTree, minSupport float64) []*Frequen
 		}
 	}
 	sortTrees(out)
-	return out
+	return out, nil
 }
 
 // FeatureVectors builds the |Tsel|-dimensional binary feature vector of
@@ -212,13 +248,23 @@ func Recount(db *graph.DB, trees []*FrequentTree, minSupport float64) []*Frequen
 // common case where db is the mined database itself; containment is
 // verified with VF2 otherwise.
 func FeatureVectors(db *graph.DB, sel []*FrequentTree) [][]bool {
+	vecs, _ := FeatureVectorsCtx(context.Background(), db, sel)
+	return vecs
+}
+
+// FeatureVectorsCtx is FeatureVectors with cooperative cancellation: the
+// parallel per-graph loop stops claiming graphs once ctx is cancelled.
+func FeatureVectorsCtx(ctx context.Context, db *graph.DB, sel []*FrequentTree) ([][]bool, error) {
 	vecs := make([][]bool, db.Len())
-	par.For(db.Len(), func(i int) {
+	err := par.ForCtx(ctx, db.Len(), func(i int) {
 		vecs[i] = make([]bool, len(sel))
 		g := db.Graph(i)
 		for j, ft := range sel {
 			vecs[i][j] = subiso.Contains(g, ft.Pattern)
 		}
 	})
-	return vecs
+	if err != nil {
+		return nil, err
+	}
+	return vecs, nil
 }

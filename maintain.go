@@ -1,6 +1,7 @@
 package catapult
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -30,7 +31,13 @@ type Maintainer struct {
 // NewMaintainer runs the full pipeline once and returns a maintainer that
 // can absorb subsequent insertions incrementally.
 func NewMaintainer(db *graph.DB, cfg Config) (*Maintainer, error) {
-	res, err := Select(db, cfg)
+	return NewMaintainerCtx(context.Background(), db, cfg)
+}
+
+// NewMaintainerCtx is NewMaintainer with cooperative cancellation of the
+// initial pipeline run.
+func NewMaintainerCtx(stdctx context.Context, db *graph.DB, cfg Config) (*Maintainer, error) {
+	res, err := SelectCtx(stdctx, db, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -56,6 +63,15 @@ func (m *Maintainer) NumClusters() int { return len(m.clusters) }
 // incrementally and reselects patterns. It returns the pattern-selection
 // duration.
 func (m *Maintainer) AddGraphs(gs []*graph.Graph) (time.Duration, error) {
+	return m.AddGraphsCtx(context.Background(), gs)
+}
+
+// AddGraphsCtx is AddGraphs with cooperative cancellation: fine splitting,
+// CSG rebuilds and pattern reselection all check stdctx at their iteration
+// boundaries. On cancellation the maintainer's pattern set and summaries
+// may be partially rebuilt; rerun AddGraphsCtx(ctx, nil) semantics do not
+// apply — callers should discard the maintainer on error.
+func (m *Maintainer) AddGraphsCtx(stdctx context.Context, gs []*graph.Graph) (time.Duration, error) {
 	if len(gs) == 0 {
 		return 0, nil
 	}
@@ -87,7 +103,10 @@ func (m *Maintainer) AddGraphs(gs []*graph.Graph) (time.Duration, error) {
 		}
 	}
 	if len(toSplit) > 0 {
-		split := cluster.Fine(m.db, toSplit, m.cfg.Clustering)
+		split, err := cluster.FineCtx(stdctx, m.db, toSplit, m.cfg.Clustering)
+		if err != nil {
+			return 0, err
+		}
 		for ci, members := range m.clusters {
 			if !splitFrom[ci] {
 				rebuilt = append(rebuilt, members)
@@ -100,16 +119,24 @@ func (m *Maintainer) AddGraphs(gs []*graph.Graph) (time.Duration, error) {
 		// Splits invalidate cluster indexing; rebuild every CSG that
 		// changed membership. Conservatively rebuild all (still far
 		// cheaper than reclustering from scratch).
-		m.csgs = csg.BuildAll(m.db, m.clusters)
+		csgs, err := csg.BuildAllCtx(stdctx, m.db, m.clusters)
+		if err != nil {
+			return 0, err
+		}
+		m.csgs = csgs
 	} else {
 		for ci := range dirty {
-			m.csgs[ci] = csg.Build(m.db, m.clusters[ci])
+			c, err := csg.BuildCtx(stdctx, m.db, m.clusters[ci])
+			if err != nil {
+				return 0, err
+			}
+			m.csgs[ci] = c
 		}
 	}
 
 	start := time.Now()
 	ctx := core.NewContext(m.db, m.csgs)
-	sel, err := core.Select(ctx, m.cfg.Budget, m.cfg.Selection)
+	sel, err := core.SelectCtx(stdctx, ctx, m.cfg.Budget, m.cfg.Selection)
 	if err != nil {
 		return 0, fmt.Errorf("catapult: reselect after insert: %w", err)
 	}
