@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench
+.PHONY: check build vet fmt test race bench bench-gate
 
 # check is the CI gate: vet, formatting, and the full test suite under the
 # race detector.
@@ -24,5 +24,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench:
+bench: bench-gate
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# bench-gate runs the coverage-engine regression gate: it writes
+# BENCH_cover.json and fails if the engine path is slower than the naive
+# sequential VF2 loop.
+bench-gate:
+	BENCH_GATE=1 $(GO) test -run '^TestCoverageBenchGate$$' -count=1 .

@@ -75,6 +75,12 @@ type Config struct {
 	// Seed drives all randomized stages unless overridden in the
 	// sub-configurations.
 	Seed int64
+	// DisableCoverEngine opts out of the memoized, index-pruned, parallel
+	// coverage engine (internal/cover) on the scoring hot path, falling
+	// back to sequential per-CSG VF2 containment. Selection output is
+	// bit-identical either way; the knob exists for ablation and as an
+	// escape hatch.
+	DisableCoverEngine bool
 }
 
 func (c *Config) defaults() {
@@ -116,6 +122,11 @@ type Result struct {
 	// "clustering time" and PGT measures).
 	ClusteringTime time.Duration
 	PatternTime    time.Duration
+	// Counters holds the pipeline counter totals of this run (VF2/MCS/GED
+	// calls, candidate statistics, and the coverage engine's cache
+	// hits/misses/pruned pairs) as recorded by the facade's internal
+	// pipeline.Recorder.
+	Counters map[pipeline.Counter]int64
 	// Exhausted is true when fewer than γ patterns could be selected.
 	Exhausted bool
 }
@@ -189,6 +200,9 @@ func SelectCtx(stdctx context.Context, db *graph.DB, cfg Config) (*Result, error
 	}
 
 	ctx := core.NewContextSized(db, csgs, effSizes)
+	if cfg.DisableCoverEngine {
+		ctx.DisableCoverEngine()
+	}
 	sel, err := core.SelectCtx(stdctx, ctx, cfg.Budget, cfg.Selection)
 	if err != nil {
 		return nil, err
@@ -201,6 +215,7 @@ func SelectCtx(stdctx context.Context, db *graph.DB, cfg Config) (*Result, error
 		WorkingDB:      db,
 		ClusteringTime: rec.Duration(pipeline.StageClustering),
 		PatternTime:    rec.Duration(pipeline.StageSelect),
+		Counters:       rec.Counters(),
 		Exhausted:      sel.Exhausted,
 	}, nil
 }

@@ -1,0 +1,93 @@
+package canon_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/canon"
+	"repro/internal/graph"
+	"repro/internal/subiso"
+)
+
+// FuzzCanonInvariance checks the two properties the coverage engine's memo
+// cache rests on:
+//
+//  1. Invariance: the canonical string of a graph does not change under
+//     vertex permutation (isomorphic graphs get equal keys).
+//  2. Soundness: graphs with equal canonical strings are mutually
+//     subgraph-isomorphic — equal keys imply the same containment verdict
+//     against any host, so cache sharing by key never lies.
+//
+// Graphs and the permutation are decoded deterministically from the fuzz
+// input, so every crash reproduces.
+func FuzzCanonInvariance(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint16(0b1011), int64(7), uint8(4), uint16(0b1011))
+	f.Add(int64(2), uint8(6), uint16(0xffff), int64(2), uint8(6), uint16(0xffff))
+	f.Add(int64(3), uint8(5), uint16(0), int64(9), uint8(3), uint16(0b111))
+	f.Fuzz(func(t *testing.T, seedA int64, nA uint8, edgesA uint16, seedB int64, nB uint8, edgesB uint16) {
+		g1 := decodeGraph(seedA, nA, edgesA)
+		g2 := decodeGraph(seedB, nB, edgesB)
+
+		// Property 1: permutation invariance.
+		rng := rand.New(rand.NewSource(seedA ^ seedB))
+		p1 := permute(g1, rng.Perm(g1.NumVertices()))
+		if canon.String(g1) != canon.String(p1) {
+			t.Fatalf("canonical form changed under permutation:\n g = %v\n π(g) = %v", g1, p1)
+		}
+		if !canon.Equal(g1, p1) {
+			t.Fatalf("canon.Equal(g, π(g)) = false for %v", g1)
+		}
+
+		// Property 2: equal keys imply mutual containment.
+		if canon.String(g1) == canon.String(g2) {
+			if !subiso.Contains(g1, g2) || !subiso.Contains(g2, g1) {
+				t.Fatalf("equal canonical keys but not mutually contained:\n g1 = %v\n g2 = %v", g1, g2)
+			}
+		} else if g1.NumVertices() == g2.NumVertices() && g1.NumEdges() == g2.NumEdges() &&
+			subiso.Contains(g1, g2) && subiso.Contains(g2, g1) {
+			// Contrapositive: isomorphic graphs must not get distinct keys.
+			t.Fatalf("isomorphic graphs with distinct canonical keys:\n g1 = %v\n g2 = %v", g1, g2)
+		}
+	})
+}
+
+// decodeGraph builds a small labeled graph from the fuzz ingredients: n
+// (clamped to [1, 7]) vertices with labels drawn by seed, and the edge
+// bitmask selecting from the n(n-1)/2 vertex pairs.
+func decodeGraph(seed int64, n uint8, edges uint16) *graph.Graph {
+	size := 1 + int(n)%7
+	rng := rand.New(rand.NewSource(seed))
+	labels := []string{"C", "N", "O"}
+	g := graph.New(size, size*size/2)
+	for i := 0; i < size; i++ {
+		g.AddVertex(labels[rng.Intn(len(labels))])
+	}
+	bit := 0
+	for u := 0; u < size; u++ {
+		for v := u + 1; v < size; v++ {
+			if edges&(1<<(bit%16)) != 0 {
+				g.MustAddEdge(graph.VertexID(u), graph.VertexID(v))
+			}
+			bit++
+		}
+	}
+	return g
+}
+
+// permute rebuilds g with vertex i of the new graph taking the role of
+// g's vertex perm[i].
+func permute(g *graph.Graph, perm []int) *graph.Graph {
+	n := g.NumVertices()
+	q := graph.New(n, g.NumEdges())
+	pos := make([]graph.VertexID, n)
+	for i := 0; i < n; i++ {
+		pos[perm[i]] = graph.VertexID(i)
+	}
+	for i := 0; i < n; i++ {
+		q.AddVertex(g.Label(graph.VertexID(perm[i])))
+	}
+	for _, e := range g.Edges() {
+		q.MustAddEdge(pos[e.U], pos[e.V])
+	}
+	return q
+}

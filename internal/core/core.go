@@ -8,8 +8,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bitset"
+	"repro/internal/cover"
 	"repro/internal/csg"
 	"repro/internal/graph"
 )
@@ -151,6 +153,20 @@ type Context struct {
 	cw          []float64              // cluster weight per CSG
 	elw         map[string]float64     // edge label weight (global lcov)
 	labelGraphs map[string]*bitset.Set // graphs containing each edge label
+
+	// Coverage engine (internal/cover) state. The engine is built lazily on
+	// first use from the CSG summary graphs; coverOff selects the naive
+	// sequential per-CSG VF2 path instead (the oracle the differential
+	// tests compare against, and the catapult.Config opt-out).
+	coverOff  bool
+	coverOnce sync.Once
+	coverEng  *cover.Engine
+
+	// Query-log engine, built lazily per log slice (Options.QueryLog is
+	// stable across one Select run).
+	qlogMu  sync.Mutex
+	qlogEng *cover.Engine
+	qlog    []*graph.Graph
 }
 
 // NewContext builds selection context from a database and its CSGs
@@ -199,6 +215,63 @@ func NewContextSized(db *graph.DB, csgs []*csg.CSG, effectiveSizes []float64) *C
 		ctx.elw[l] = float64(s.Count()) / float64(db.Len())
 	}
 	return ctx
+}
+
+// DisableCoverEngine switches coverage scoring to the naive sequential
+// per-host VF2 path: no memoization, no index pruning, no parallel
+// verification. Selection output is bit-identical either way (the engine is
+// an exact accelerator); the naive path exists as the differential-test
+// oracle and as an ablation/opt-out knob. Call it before the first scoring
+// use of the context.
+func (ctx *Context) DisableCoverEngine() { ctx.coverOff = true }
+
+// coverEngine returns the lazily built coverage engine over the CSG summary
+// graphs, or nil when the engine is disabled.
+func (sc *Context) coverEngine() *cover.Engine {
+	if sc.coverOff {
+		return nil
+	}
+	sc.coverOnce.Do(func() {
+		hosts := make([]*graph.Graph, len(sc.CSGs))
+		for i, c := range sc.CSGs {
+			hosts[i] = c.G
+		}
+		sc.coverEng = cover.New(hosts, cover.Options{})
+	})
+	return sc.coverEng
+}
+
+// queryLogEngine returns a coverage engine over the logged queries,
+// rebuilding only when the log slice changes identity.
+func (sc *Context) queryLogEngine(log []*graph.Graph) *cover.Engine {
+	sc.qlogMu.Lock()
+	defer sc.qlogMu.Unlock()
+	if sc.qlogEng == nil || !sameGraphs(sc.qlog, log) {
+		sc.qlogEng = cover.New(log, cover.Options{})
+		sc.qlog = log
+	}
+	return sc.qlogEng
+}
+
+func sameGraphs(a, b []*graph.Graph) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CoverStats returns a snapshot of the coverage engine's cache/pruning
+// activity (zero when the engine is disabled or not yet used).
+func (ctx *Context) CoverStats() cover.Stats {
+	if ctx.coverEng == nil {
+		return cover.Stats{}
+	}
+	return ctx.coverEng.Stats()
 }
 
 // ClusterWeight returns the current (possibly discounted) weight of CSG i.

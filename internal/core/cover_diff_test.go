@@ -1,0 +1,218 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/csg"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/subiso"
+)
+
+// Differential property tests: every scoring quantity computed through the
+// coverage engine must be byte-identical to the naive sequential
+// subiso.Contains oracle — the engine is an exact accelerator, not an
+// approximation. Randomized databases, clusterings and patterns; failures
+// print the offending seed.
+
+// diffSetup builds a randomized database, a random chunked clustering and
+// two identical contexts — one engine-backed, one naive.
+func diffSetup(seed int64) (*graph.DB, []*csg.CSG, *Context, *Context, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	db := dataset.AIDSLike(24+rng.Intn(16), seed)
+	var clusters [][]int
+	for i := 0; i < db.Len(); {
+		n := 3 + rng.Intn(6)
+		if i+n > db.Len() {
+			n = db.Len() - i
+		}
+		members := make([]int, n)
+		for j := range members {
+			members[j] = i + j
+		}
+		clusters = append(clusters, members)
+		i += n
+	}
+	csgs := csg.BuildAll(db, clusters)
+	engCtx := NewContext(db, csgs)
+	naiveCtx := NewContext(db, csgs)
+	naiveCtx.DisableCoverEngine()
+	return db, csgs, engCtx, naiveCtx, rng
+}
+
+// diffPatterns draws patterns that are subgraphs of some data graph plus
+// label-scrambled variants that usually are not.
+func diffPatterns(db *graph.DB, n int, rng *rand.Rand) []*graph.Graph {
+	labels := []string{"C", "N", "O", "S", "Cl"}
+	var out []*graph.Graph
+	for len(out) < n {
+		g := db.Graph(rng.Intn(db.Len()))
+		p := graph.RandomConnectedSubgraph(g, 3+rng.Intn(4), rng)
+		if p == nil {
+			continue
+		}
+		out = append(out, p)
+		if len(out) < n {
+			q := p.Clone()
+			q.SetLabel(graph.VertexID(rng.Intn(q.NumVertices())), labels[rng.Intn(len(labels))])
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func TestDifferentialCCov(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		db, _, engCtx, naiveCtx, rng := diffSetup(seed)
+		for _, p := range diffPatterns(db, 30, rng) {
+			if a, b := engCtx.CCov(p), naiveCtx.CCov(p); a != b {
+				t.Errorf("seed %d: engine CCov = %v, naive = %v for %v", seed, a, b, p)
+			}
+		}
+	}
+}
+
+func TestDifferentialUpdateWeights(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		db, csgs, engCtx, naiveCtx, rng := diffSetup(seed)
+		for _, p := range diffPatterns(db, 10, rng) {
+			engCtx.UpdateWeights(p)
+			naiveCtx.UpdateWeights(p)
+			for i := range csgs {
+				if a, b := engCtx.ClusterWeight(i), naiveCtx.ClusterWeight(i); a != b {
+					t.Fatalf("seed %d: cluster %d weight diverged: engine %v, naive %v",
+						seed, i, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestDifferentialScovLcov(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		db, _, _, _, rng := diffSetup(seed)
+		patterns := diffPatterns(db, 8, rng)
+
+		got, err := ScovCtx(context.Background(), db, patterns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Naive graph-major oracle, exactly the pre-engine implementation.
+		covered := bitset.New(db.Len())
+		for gi, g := range db.Graphs {
+			for _, p := range patterns {
+				if subiso.Contains(g, p) {
+					covered.Add(gi)
+					break
+				}
+			}
+		}
+		if want := float64(covered.Count()) / float64(db.Len()); got != want {
+			t.Errorf("seed %d: engine Scov = %v, naive = %v", seed, got, want)
+		}
+
+		gotL, err := LcovCtx(context.Background(), db, patterns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantL := Lcov(db, patterns); gotL != wantL {
+			t.Errorf("seed %d: LcovCtx = %v, Lcov = %v", seed, gotL, wantL)
+		}
+	}
+}
+
+func TestDifferentialQueryLogFrequency(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		db, _, engCtx, naiveCtx, rng := diffSetup(seed)
+		log := diffPatterns(db, 12, rng) // stand-in logged queries
+		for _, p := range diffPatterns(db, 10, rng) {
+			a, err := engCtx.queryLogFrequencyCtx(context.Background(), p, log)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := naiveCtx.queryLogFrequencyCtx(context.Background(), p, log)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Errorf("seed %d: engine qfreq = %v, naive = %v for %v", seed, a, b, p)
+			}
+		}
+	}
+}
+
+// TestDifferentialSelect runs the full greedy selection with the engine on
+// vs off under fixed seeds: byte-identical pattern sets, score breakdowns
+// and termination behavior.
+func TestDifferentialSelect(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		db, _, engCtx, naiveCtx, _ := diffSetup(seed)
+		b := Budget{EtaMin: 3, EtaMax: 5, Gamma: 6}
+		opts := Options{Walks: 8, Seed: seed, SeedSet: true,
+			QueryLog: diffPatterns(db, 6, rand.New(rand.NewSource(seed^0x5eed)))}
+
+		ra, err := Select(engCtx, b, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := Select(naiveCtx, b, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Iterations != rb.Iterations || ra.Exhausted != rb.Exhausted {
+			t.Fatalf("seed %d: run shape differs: (%d, %v) vs (%d, %v)",
+				seed, ra.Iterations, ra.Exhausted, rb.Iterations, rb.Exhausted)
+		}
+		if len(ra.Patterns) != len(rb.Patterns) {
+			t.Fatalf("seed %d: pattern counts differ: %d vs %d",
+				seed, len(ra.Patterns), len(rb.Patterns))
+		}
+		for i := range ra.Patterns {
+			pa, pb := ra.Patterns[i], rb.Patterns[i]
+			if pa.Graph.String() != pb.Graph.String() {
+				t.Errorf("seed %d: pattern %d differs:\n engine: %v\n naive:  %v",
+					seed, i, pa.Graph, pb.Graph)
+			}
+			if pa.Score != pb.Score || pa.Ccov != pb.Ccov || pa.Lcov != pb.Lcov ||
+				pa.Div != pb.Div || pa.Cog != pb.Cog || pa.SourceCSG != pb.SourceCSG {
+				t.Errorf("seed %d: pattern %d breakdown differs:\n engine: %+v\n naive:  %+v",
+					seed, i, *pa, *pb)
+			}
+		}
+		// The engine run must actually have exercised the cache, and the
+		// naive context must never have built an engine.
+		if s := engCtx.CoverStats(); s.Hits == 0 || s.Misses == 0 {
+			t.Errorf("seed %d: engine run had no cache activity: %+v", seed, s)
+		}
+		if s := naiveCtx.CoverStats(); s.Hits != 0 || s.Misses != 0 || s.VF2Calls != 0 {
+			t.Errorf("seed %d: naive run touched the engine: %+v", seed, s)
+		}
+	}
+}
+
+// TestScovLcovCtxCancelled is the regression test for the PR-1 gap: Scov
+// and Lcov used to ignore context entirely; their Ctx variants must return
+// ctx.Err() when cancelled.
+func TestScovLcovCtxCancelled(t *testing.T) {
+	db, _, _, _, rng := diffSetup(1)
+	patterns := diffPatterns(db, 4, rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ScovCtx(ctx, db, patterns); !errors.Is(err, context.Canceled) {
+		t.Errorf("ScovCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := LcovCtx(ctx, db, patterns); !errors.Is(err, context.Canceled) {
+		t.Errorf("LcovCtx err = %v, want context.Canceled", err)
+	}
+	// The uncancellable wrappers still work and agree with each other.
+	if v := Scov(db, patterns); v < 0 || v > 1 {
+		t.Errorf("Scov = %v, want within [0, 1]", v)
+	}
+	if v := Lcov(db, patterns); v < 0 || v > 1 {
+		t.Errorf("Lcov = %v, want within [0, 1]", v)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/bitset"
+	"repro/internal/cover"
 	"repro/internal/ged"
 	"repro/internal/graph"
 	"repro/internal/subiso"
@@ -17,9 +18,25 @@ func (ctx *Context) CCov(p *graph.Graph) float64 {
 	return v
 }
 
-// ccovCtx is CCov with cooperative cancellation, checked inside each VF2
-// containment search (which also counts CounterVF2Calls on the tracer).
+// ccovCtx is CCov with cooperative cancellation. Containment runs through
+// the coverage engine (memoized, index-pruned, parallel) unless the engine
+// is disabled, in which case each live CSG is tested sequentially with VF2.
+// Both paths produce bit-identical sums: verdicts are accumulated in
+// ascending CSG order either way.
 func (sc *Context) ccovCtx(stdctx context.Context, p *graph.Graph) (float64, error) {
+	if e := sc.coverEngine(); e != nil {
+		verdicts, err := e.Verdicts(stdctx, p)
+		if err != nil {
+			return 0, err
+		}
+		total := 0.0
+		for i, ok := range verdicts {
+			if ok && sc.cw[i] > 0 {
+				total += sc.cw[i]
+			}
+		}
+		return total, nil
+	}
 	total := 0.0
 	for i, c := range sc.CSGs {
 		if sc.cw[i] <= 0 {
@@ -120,7 +137,7 @@ func (sc *Context) scoreWithCtx(stdctx context.Context, p *graph.Graph, selected
 		score /= cog
 	}
 	if len(opts.QueryLog) > 0 {
-		qf, qerr := queryLogFrequency(stdctx, p, opts.QueryLog)
+		qf, qerr := sc.queryLogFrequencyCtx(stdctx, p, opts.QueryLog)
 		if qerr != nil {
 			return 0, 0, 0, 0, 0, qerr
 		}
@@ -129,7 +146,21 @@ func (sc *Context) scoreWithCtx(stdctx context.Context, p *graph.Graph, selected
 	return score, ccov, lcov, div, cog, nil
 }
 
-// queryLogFrequency returns the fraction of logged queries containing p.
+// queryLogFrequencyCtx returns the fraction of logged queries containing p,
+// through a coverage engine over the log (or the naive sequential scan when
+// the engine is disabled).
+func (sc *Context) queryLogFrequencyCtx(stdctx context.Context, p *graph.Graph, log []*graph.Graph) (float64, error) {
+	if sc.coverOff {
+		return queryLogFrequency(stdctx, p, log)
+	}
+	hits, err := sc.queryLogEngine(log).Count(stdctx, p)
+	if err != nil {
+		return 0, err
+	}
+	return float64(hits) / float64(len(log)), nil
+}
+
+// queryLogFrequency is the naive oracle for queryLogFrequencyCtx.
 func queryLogFrequency(stdctx context.Context, p *graph.Graph, log []*graph.Graph) (float64, error) {
 	hits := 0
 	for _, q := range log {
@@ -152,19 +183,33 @@ func (ctx *Context) UpdateWeights(p *graph.Graph) {
 }
 
 // updateWeightsCtx is UpdateWeights with cooperative cancellation threaded
-// into the per-CSG containment checks.
+// into the per-CSG containment checks. When the coverage engine is enabled,
+// the containment verdicts for the just-selected pattern are guaranteed memo
+// hits (scoring established them), so the update costs no VF2 at all.
 func (sc *Context) updateWeightsCtx(stdctx context.Context, p *graph.Graph) error {
 	const n = 0.5
-	for i, c := range sc.CSGs {
-		if sc.cw[i] <= 0 {
-			continue
-		}
-		ok, err := subiso.ContainsCtx(stdctx, c.G, p)
+	if e := sc.coverEngine(); e != nil {
+		verdicts, err := e.Verdicts(stdctx, p)
 		if err != nil {
 			return err
 		}
-		if ok {
-			sc.cw[i] *= 1 - n
+		for i, ok := range verdicts {
+			if ok && sc.cw[i] > 0 {
+				sc.cw[i] *= 1 - n
+			}
+		}
+	} else {
+		for i, c := range sc.CSGs {
+			if sc.cw[i] <= 0 {
+				continue
+			}
+			ok, err := subiso.ContainsCtx(stdctx, c.G, p)
+			if err != nil {
+				return err
+			}
+			if ok {
+				sc.cw[i] *= 1 - n
+			}
 		}
 	}
 	seen := make(map[string]struct{})
@@ -187,26 +232,58 @@ func (sc *Context) updateWeightsCtx(stdctx context.Context, p *graph.Graph) erro
 // Scov computes the exact subgraph coverage of a pattern set:
 // scov(P, D) = |∪_p G_p| / |D| with VF2 containment per data graph.
 func Scov(db *graph.DB, patterns []*graph.Graph) float64 {
-	if db.Len() == 0 {
-		return 0
+	// context.Background is never cancelled, so ScovCtx cannot fail here.
+	v, _ := ScovCtx(context.Background(), db, patterns)
+	return v
+}
+
+// ScovCtx is Scov with cooperative cancellation. Containment runs through a
+// per-call coverage engine over the data graphs (index-pruned, memoized,
+// parallel), stopping early once every graph is covered; the covered set is
+// identical to the naive graph-major VF2 scan.
+func ScovCtx(stdctx context.Context, db *graph.DB, patterns []*graph.Graph) (float64, error) {
+	if err := stdctx.Err(); err != nil {
+		return 0, err
 	}
+	if db.Len() == 0 {
+		return 0, nil
+	}
+	eng := cover.New(db.Graphs, cover.Options{})
 	covered := bitset.New(db.Len())
-	for gi, g := range db.Graphs {
-		for _, p := range patterns {
-			if subiso.Contains(g, p) {
+	for _, p := range patterns {
+		verdicts, err := eng.Verdicts(stdctx, p)
+		if err != nil {
+			return 0, err
+		}
+		for gi, ok := range verdicts {
+			if ok {
 				covered.Add(gi)
-				break
 			}
 		}
+		if covered.Count() == db.Len() {
+			break
+		}
 	}
-	return float64(covered.Count()) / float64(db.Len())
+	return float64(covered.Count()) / float64(db.Len()), nil
 }
 
 // Lcov computes the exact label coverage of a pattern set:
 // lcov(P, D) = |L(E_P, D)| / |D|.
 func Lcov(db *graph.DB, patterns []*graph.Graph) float64 {
+	// context.Background is never cancelled, so LcovCtx cannot fail here.
+	v, _ := LcovCtx(context.Background(), db, patterns)
+	return v
+}
+
+// LcovCtx is Lcov with cooperative cancellation, checked at each data-graph
+// boundary (label coverage needs no containment search, so there is no
+// engine to route through).
+func LcovCtx(stdctx context.Context, db *graph.DB, patterns []*graph.Graph) (float64, error) {
+	if err := stdctx.Err(); err != nil {
+		return 0, err
+	}
 	if db.Len() == 0 {
-		return 0
+		return 0, nil
 	}
 	labels := make(map[string]struct{})
 	for _, p := range patterns {
@@ -216,6 +293,9 @@ func Lcov(db *graph.DB, patterns []*graph.Graph) float64 {
 	}
 	covered := bitset.New(db.Len())
 	for gi, g := range db.Graphs {
+		if err := stdctx.Err(); err != nil {
+			return 0, err
+		}
 		for _, e := range g.Edges() {
 			if _, ok := labels[g.EdgeLabel(e.U, e.V)]; ok {
 				covered.Add(gi)
@@ -223,7 +303,7 @@ func Lcov(db *graph.DB, patterns []*graph.Graph) float64 {
 			}
 		}
 	}
-	return float64(covered.Count()) / float64(db.Len())
+	return float64(covered.Count()) / float64(db.Len()), nil
 }
 
 // AvgDiversity returns the average over patterns of min-GED to the rest of

@@ -8,7 +8,6 @@ import (
 	"repro/internal/canon"
 	"repro/internal/graph"
 	"repro/internal/pipeline"
-	"repro/internal/subiso"
 )
 
 // Select runs Algorithm 4: greedy, one canned pattern per iteration, until
@@ -172,10 +171,12 @@ func (ctx *Context) proposingCSGs(top int) []int {
 
 // isDuplicate reports whether p is isomorphic to a graph already recorded
 // under the same signature (signature equality is necessary for
-// isomorphism, so only those need the VF2 double-containment check).
+// isomorphism, so only those need the exact check). Isomorphism is decided
+// by canonical forms — one canon computation per pair instead of the old
+// VF2 double-containment.
 func isDuplicate(seen map[string][]*graph.Graph, p *graph.Graph) bool {
 	for _, q := range seen[p.Signature()] {
-		if subiso.Contains(q, p) && subiso.Contains(p, q) {
+		if canon.Equal(q, p) {
 			return true
 		}
 	}

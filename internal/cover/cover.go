@@ -1,0 +1,238 @@
+// Package cover implements the coverage-evaluation engine behind the
+// scoring hot path of pattern selection. Almost all of CATAPULT's selection
+// time is spent re-deciding subgraph-isomorphism containment of candidate
+// patterns against a fixed set of host graphs (cluster summary graphs, data
+// graphs, logged queries) across multiplicative-weight iterations (Sec 5).
+// The engine makes one batch verdict query cheap three ways:
+//
+//  1. Memoization: verdicts are cached in a concurrency-safe map keyed by
+//     the canon canonical forms of (host, pattern). Canonical keys are
+//     sound because label-preserving isomorphism preserves containment
+//     both ways: if canon(p1) == canon(p2) then p1 and p2 embed into
+//     exactly the same hosts, and likewise for isomorphic hosts.
+//  2. Index pruning: a gindex path-feature index over the hosts is built
+//     once per engine. Path features are anti-monotone under subgraph
+//     isomorphism (every label path of a pattern occurs in any host
+//     containing it), so the index's candidate set is a superset of the
+//     true answer set and non-candidates are rejected without VF2.
+//  3. Parallel verification: the surviving cache misses are verified with
+//     VF2 via par.ForCtx, one search per canonically distinct host.
+//
+// Results are deterministic: a verdict batch is a pure function of (hosts,
+// pattern), independent of scheduling, cache state and pruning, which the
+// differential tests in internal/core assert against a naive sequential
+// oracle. Cache hits, misses and pruned pairs are reported through the
+// pipeline counters carried in the context, and accumulated in Stats.
+package cover
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/canon"
+	"repro/internal/gindex"
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/pipeline"
+	"repro/internal/subiso"
+)
+
+// DefaultMaxCanonVertices is the default size cap above which a graph is
+// keyed by identity instead of by canonical form. Canonical labeling is
+// individualization-refinement search, comfortable for pattern-scale graphs
+// but potentially expensive on large hosts; an identity key stays sound
+// (it only forgoes verdict sharing between isomorphic hosts).
+const DefaultMaxCanonVertices = 48
+
+// Options configures an Engine.
+type Options struct {
+	// MaxPathLen caps the indexed path length in edges
+	// (default gindex.DefaultMaxPathLen).
+	MaxPathLen int
+	// MaxCanonVertices caps the graph size for canonical-form keys
+	// (default DefaultMaxCanonVertices). Larger hosts get identity keys;
+	// larger patterns bypass the memo entirely (pruning and parallel
+	// verification still apply).
+	MaxCanonVertices int
+}
+
+// Stats is a snapshot of engine activity.
+type Stats struct {
+	// Hits counts verdicts served from the memo cache.
+	Hits int64
+	// Misses counts verdicts that had to be established.
+	Misses int64
+	// Pruned counts (host, pattern) pairs rejected by the feature index.
+	Pruned int64
+	// VF2Calls counts VF2 searches run (one per canonically distinct
+	// missing host per batch, so it can be below Misses).
+	VF2Calls int64
+}
+
+// Engine evaluates containment of patterns against a fixed host set.
+// It is safe for concurrent use.
+type Engine struct {
+	hosts     []*graph.Graph
+	hostKeys  []string
+	idx       *gindex.Index
+	maxCanonV int
+
+	mu   sync.RWMutex
+	memo map[pairKey]bool
+
+	hits, misses, pruned, vf2 atomic.Int64
+}
+
+// pairKey identifies a (host, pattern) containment question up to
+// isomorphism on both sides.
+type pairKey struct{ host, pattern string }
+
+// New builds an engine over the given hosts. The host slice is copied; the
+// host graphs themselves must not be mutated afterwards.
+func New(hosts []*graph.Graph, opts Options) *Engine {
+	maxCanonV := opts.MaxCanonVertices
+	if maxCanonV <= 0 {
+		maxCanonV = DefaultMaxCanonVertices
+	}
+	e := &Engine{
+		hosts:     append([]*graph.Graph(nil), hosts...),
+		hostKeys:  make([]string, len(hosts)),
+		maxCanonV: maxCanonV,
+		memo:      make(map[pairKey]bool),
+	}
+	// The DB literal shares the host graphs without reassigning their IDs
+	// (graph.NewDB would clobber g.ID, which String() and exporters use).
+	e.idx = gindex.Build(&graph.DB{Name: "cover-hosts", Graphs: e.hosts},
+		gindex.Options{MaxPathLen: opts.MaxPathLen})
+	for i, h := range e.hosts {
+		if h.NumVertices() <= maxCanonV {
+			e.hostKeys[i] = canon.String(h)
+		} else {
+			// Identity key: unambiguous (canonical strings of non-empty
+			// graphs always contain '|', this never does).
+			e.hostKeys[i] = fmt.Sprintf("id:%d", i)
+		}
+	}
+	return e
+}
+
+// NumHosts returns the number of hosts the engine evaluates against.
+func (e *Engine) NumHosts() int { return len(e.hosts) }
+
+// Stats returns a snapshot of the accumulated counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Hits:     e.hits.Load(),
+		Misses:   e.misses.Load(),
+		Pruned:   e.pruned.Load(),
+		VF2Calls: e.vf2.Load(),
+	}
+}
+
+// Verdicts returns, for every host i, whether pattern p is subgraph-
+// isomorphic to it. On cancellation it returns (nil, ctx.Err()) and leaves
+// the memo untouched (no partially-established batch is cached). Cache
+// activity is reported on the context's pipeline tracer; VF2 searches
+// additionally count CounterVF2Calls inside subiso.
+func (e *Engine) Verdicts(stdctx context.Context, p *graph.Graph) ([]bool, error) {
+	if err := stdctx.Err(); err != nil {
+		return nil, err
+	}
+	verdicts := make([]bool, len(e.hosts))
+	if len(e.hosts) == 0 {
+		return verdicts, nil
+	}
+	cands := e.idx.Candidates(p)
+	prunedN := int64(len(e.hosts) - len(cands))
+
+	var patKey string
+	useMemo := p.NumVertices() <= e.maxCanonV
+	if useMemo {
+		patKey = canon.String(p)
+	}
+
+	// Memo lookup for the candidates; collect the misses.
+	var missHosts []int
+	var hitsN int64
+	if useMemo {
+		e.mu.RLock()
+		for _, hi := range cands {
+			if v, ok := e.memo[pairKey{e.hostKeys[hi], patKey}]; ok {
+				verdicts[hi] = v
+				hitsN++
+			} else {
+				missHosts = append(missHosts, hi)
+			}
+		}
+		e.mu.RUnlock()
+	} else {
+		missHosts = cands
+	}
+
+	// One VF2 search per canonically distinct missing host.
+	repOf := make(map[string]int)
+	var reps []int
+	for _, hi := range missHosts {
+		if _, ok := repOf[e.hostKeys[hi]]; !ok {
+			repOf[e.hostKeys[hi]] = len(reps)
+			reps = append(reps, hi)
+		}
+	}
+	results := make([]bool, len(reps))
+	errs := make([]error, len(reps))
+	ferr := par.ForCtx(stdctx, len(reps), func(i int) {
+		results[i], errs[i] = subiso.ContainsCtx(stdctx, e.hosts[reps[i]], p)
+	})
+	e.vf2.Add(int64(len(reps)))
+	if ferr != nil {
+		return nil, ferr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if useMemo && len(reps) > 0 {
+		e.mu.Lock()
+		for i, hi := range reps {
+			e.memo[pairKey{e.hostKeys[hi], patKey}] = results[i]
+		}
+		e.mu.Unlock()
+	}
+	for _, hi := range missHosts {
+		verdicts[hi] = results[repOf[e.hostKeys[hi]]]
+	}
+
+	e.hits.Add(hitsN)
+	e.misses.Add(int64(len(missHosts)))
+	e.pruned.Add(prunedN)
+	tr := pipeline.From(stdctx)
+	if hitsN > 0 {
+		tr.Add(pipeline.CounterCoverHits, hitsN)
+	}
+	if len(missHosts) > 0 {
+		tr.Add(pipeline.CounterCoverMisses, int64(len(missHosts)))
+	}
+	if prunedN > 0 {
+		tr.Add(pipeline.CounterCoverPruned, prunedN)
+	}
+	return verdicts, nil
+}
+
+// Count returns the number of hosts containing p.
+func (e *Engine) Count(stdctx context.Context, p *graph.Graph) (int, error) {
+	verdicts, err := e.Verdicts(stdctx, p)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, ok := range verdicts {
+		if ok {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -9,9 +9,16 @@
 // Path features are cheap to enumerate, anti-monotone (every feature of a
 // subgraph occurs in its supergraphs), and effective on labeled molecule-
 // like graphs.
+//
+// Features are stored as uint64 keys whenever the label vocabulary and
+// path length fit: labels are interned into small integer IDs at build
+// time and a path packs its IDs into one word, which avoids the string
+// allocation that otherwise dominates index construction. Databases with
+// huge vocabularies or deep paths fall back to string features.
 package gindex
 
 import (
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -27,8 +34,17 @@ const DefaultMaxPathLen = 3
 type Index struct {
 	db         *graph.DB
 	maxPathLen int
-	// postings maps each path feature to the set of graphs containing it.
-	postings map[string]*bitset.Set
+
+	// Packed mode (labelBits > 0): labels are interned to 1-based IDs and a
+	// path feature is its IDs packed big-endian into a uint64, taking the
+	// smaller packing of the two path directions. Leading IDs are nonzero,
+	// so paths of different lengths never collide.
+	labelBits uint
+	labelIDs  map[string]uint64
+	postings  map[uint64]*bitset.Set
+
+	// Fallback mode (labelBits == 0): features are canonical label strings.
+	strPostings map[string]*bitset.Set
 }
 
 // Options configures index construction.
@@ -43,36 +59,115 @@ func Build(db *graph.DB, opts Options) *Index {
 	if maxLen <= 0 {
 		maxLen = DefaultMaxPathLen
 	}
-	idx := &Index{
-		db:         db,
-		maxPathLen: maxLen,
-		postings:   make(map[string]*bitset.Set),
-	}
-	for gi, g := range db.Graphs {
-		for f := range pathFeatures(g, maxLen) {
-			s, ok := idx.postings[f]
-			if !ok {
-				s = bitset.New(db.Len())
-				idx.postings[f] = s
+	idx := &Index{db: db, maxPathLen: maxLen}
+
+	ids := make(map[string]uint64)
+	for _, g := range db.Graphs {
+		for v := 0; v < g.NumVertices(); v++ {
+			l := g.Label(graph.VertexID(v))
+			if _, ok := ids[l]; !ok {
+				ids[l] = uint64(len(ids) + 1)
 			}
-			s.Add(gi)
+		}
+	}
+	b := uint(bits.Len(uint(len(ids))))
+	if b == 0 {
+		b = 1
+	}
+	if uint(maxLen+1)*b <= 64 {
+		idx.labelBits = b
+		idx.labelIDs = ids
+		idx.postings = make(map[uint64]*bitset.Set)
+		feats := make(map[uint64]struct{})
+		for gi, g := range db.Graphs {
+			clear(feats)
+			idx.packedFeatures(g, feats)
+			for f := range feats {
+				s, ok := idx.postings[f]
+				if !ok {
+					s = bitset.New(db.Len())
+					idx.postings[f] = s
+				}
+				s.Add(gi)
+			}
+		}
+	} else {
+		idx.strPostings = make(map[string]*bitset.Set)
+		for gi, g := range db.Graphs {
+			for f := range pathFeatures(g, maxLen) {
+				s, ok := idx.strPostings[f]
+				if !ok {
+					s = bitset.New(db.Len())
+					idx.strPostings[f] = s
+				}
+				s.Add(gi)
+			}
 		}
 	}
 	return idx
 }
 
 // NumFeatures returns the number of distinct indexed features.
-func (idx *Index) NumFeatures() int { return len(idx.postings) }
+func (idx *Index) NumFeatures() int {
+	return len(idx.postings) + len(idx.strPostings)
+}
+
+// packedFeatures enumerates the packed features of all simple paths of
+// length 0..maxPathLen edges in g into out. It returns false (with out in
+// an unspecified state) when g has a label absent from the index's
+// vocabulary — such a graph cannot be contained in any indexed graph.
+func (idx *Index) packedFeatures(g *graph.Graph, out map[uint64]struct{}) bool {
+	n := g.NumVertices()
+	labels := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		id, ok := idx.labelIDs[g.Label(graph.VertexID(v))]
+		if !ok {
+			return false
+		}
+		labels[v] = id
+	}
+	visited := make([]bool, n)
+	b := idx.labelBits
+	// fwd and rev hold the current path's IDs packed in both directions,
+	// maintained incrementally; the feature is the smaller of the two.
+	var fwd, rev uint64
+	var dfs func(v graph.VertexID, depth int)
+	dfs = func(v graph.VertexID, depth int) {
+		oldFwd, oldRev := fwd, rev
+		id := labels[v]
+		fwd = fwd<<b | id
+		rev = rev | id<<(uint(depth)*b)
+		f := fwd
+		if rev < f {
+			f = rev
+		}
+		out[f] = struct{}{}
+		visited[v] = true
+		if depth < idx.maxPathLen {
+			for _, w := range g.Neighbors(v) {
+				if !visited[w] {
+					dfs(w, depth+1)
+				}
+			}
+		}
+		visited[v] = false
+		fwd, rev = oldFwd, oldRev
+	}
+	for v := 0; v < n; v++ {
+		dfs(graph.VertexID(v), 0)
+	}
+	return true
+}
 
 // pathFeatures enumerates the canonical label strings of all simple paths
-// of length 0..maxLen edges in g. A path's canonical string is the
-// lexicographically smaller of its two directions, so features are
-// orientation independent.
+// of length 0..maxLen edges in g (fallback mode). A path's canonical
+// string is the lexicographically smaller of its two directions, so
+// features are orientation independent.
 func pathFeatures(g *graph.Graph, maxLen int) map[string]struct{} {
 	out := make(map[string]struct{})
 	n := g.NumVertices()
 	var labels []string
-	var visited []bool
+	visited := make([]bool, n)
 
 	var dfs func(v graph.VertexID, depth int)
 	dfs = func(v graph.VertexID, depth int) {
@@ -90,7 +185,6 @@ func pathFeatures(g *graph.Graph, maxLen int) map[string]struct{} {
 		labels = labels[:len(labels)-1]
 	}
 	for v := 0; v < n; v++ {
-		visited = make([]bool, n)
 		dfs(graph.VertexID(v), 0)
 	}
 	return out
@@ -114,18 +208,39 @@ func canonicalPath(labels []string) string {
 // filter for query q (a superset of the true answer set).
 func (idx *Index) Candidates(q *graph.Graph) []int {
 	var acc *bitset.Set
-	for f := range pathFeatures(q, idx.maxPathLen) {
-		s, ok := idx.postings[f]
-		if !ok {
-			return nil // a query feature absent from every graph: no answers
+	if idx.labelBits > 0 {
+		feats := make(map[uint64]struct{})
+		if !idx.packedFeatures(q, feats) {
+			return nil // a query label absent from every graph: no answers
 		}
-		if acc == nil {
-			acc = s.Clone()
-		} else {
-			acc.IntersectWith(s)
+		for f := range feats {
+			s, ok := idx.postings[f]
+			if !ok {
+				return nil // a query feature absent from every graph
+			}
+			if acc == nil {
+				acc = s.Clone()
+			} else {
+				acc.IntersectWith(s)
+			}
+			if acc.Count() == 0 {
+				return nil
+			}
 		}
-		if acc.Count() == 0 {
-			return nil
+	} else {
+		for f := range pathFeatures(q, idx.maxPathLen) {
+			s, ok := idx.strPostings[f]
+			if !ok {
+				return nil
+			}
+			if acc == nil {
+				acc = s.Clone()
+			} else {
+				acc.IntersectWith(s)
+			}
+			if acc.Count() == 0 {
+				return nil
+			}
 		}
 	}
 	if acc == nil {

@@ -24,14 +24,19 @@ import (
 
 const persistVersion = 1
 
-// Save writes the index postings to w.
+// Save writes the index postings to w. Packed-mode features are decoded
+// back to their canonical label strings, so the format is independent of
+// the in-memory representation (a decoded packed index saves byte-
+// identically to a string-mode one: the label↔ID mapping is a bijection
+// and canonicalPath normalizes direction either way).
 func (idx *Index) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "gindex %d %d %d\n", persistVersion, idx.maxPathLen, idx.db.Len()); err != nil {
 		return err
 	}
-	features := make([]string, 0, len(idx.postings))
-	for f := range idx.postings {
+	postings := idx.stringPostings()
+	features := make([]string, 0, len(postings))
+	for f := range postings {
 		features = append(features, f)
 	}
 	sort.Strings(features)
@@ -42,7 +47,7 @@ func (idx *Index) Save(w io.Writer) error {
 		if _, err := fmt.Fprintf(bw, "f %s", f); err != nil {
 			return err
 		}
-		for _, id := range idx.postings[f].Elements() {
+		for _, id := range postings[f].Elements() {
 			if _, err := fmt.Fprintf(bw, " %d", id); err != nil {
 				return err
 			}
@@ -52,6 +57,32 @@ func (idx *Index) Save(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// stringPostings returns the postings keyed by canonical label strings,
+// decoding packed features when necessary.
+func (idx *Index) stringPostings() map[string]*bitset.Set {
+	if idx.labelBits == 0 {
+		return idx.strPostings
+	}
+	rev := make(map[uint64]string, len(idx.labelIDs))
+	for l, id := range idx.labelIDs {
+		rev[id] = l
+	}
+	out := make(map[string]*bitset.Set, len(idx.postings))
+	mask := uint64(1)<<idx.labelBits - 1
+	for f, s := range idx.postings {
+		var ids []uint64
+		for ; f != 0; f >>= idx.labelBits {
+			ids = append(ids, f&mask)
+		}
+		labels := make([]string, len(ids)) // ids peel off back-to-front
+		for i, id := range ids {
+			labels[len(ids)-1-i] = rev[id]
+		}
+		out[canonicalPath(labels)] = s
+	}
+	return out
 }
 
 // Load reads an index saved with Save and attaches it to db. It returns
@@ -72,7 +103,9 @@ func Load(r io.Reader, db *graph.DB) (*Index, error) {
 	if dbLen != db.Len() {
 		return nil, fmt.Errorf("gindex: index built for %d graphs, database has %d", dbLen, db.Len())
 	}
-	idx := &Index{db: db, maxPathLen: maxLen, postings: make(map[string]*bitset.Set)}
+	// A loaded index always operates in string mode: the format stores
+	// canonical label strings and behaves identically to a string-mode build.
+	idx := &Index{db: db, maxPathLen: maxLen, strPostings: make(map[string]*bitset.Set)}
 	line := 1
 	for sc.Scan() {
 		line++
@@ -91,7 +124,7 @@ func Load(r io.Reader, db *graph.DB) (*Index, error) {
 			}
 			s.Add(id)
 		}
-		idx.postings[fields[1]] = s
+		idx.strPostings[fields[1]] = s
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -90,6 +90,16 @@ const (
 	CounterMCSCalls Counter = "mcs_calls"
 	// CounterGEDCalls counts full (non-pruned) GED computations.
 	CounterGEDCalls Counter = "ged_calls"
+	// CounterCoverHits counts containment verdicts served from the coverage
+	// engine's memo cache without running VF2.
+	CounterCoverHits Counter = "cover_cache_hits"
+	// CounterCoverMisses counts containment verdicts the coverage engine had
+	// to establish (memo miss; resolved by at most one VF2 search per
+	// canonically distinct host).
+	CounterCoverMisses Counter = "cover_cache_misses"
+	// CounterCoverPruned counts (host, pattern) pairs the coverage engine
+	// rejected via the path-feature index without VF2 or a memo entry.
+	CounterCoverPruned Counter = "cover_pruned"
 )
 
 // Trace observes pipeline execution. Implementations must be safe for

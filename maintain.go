@@ -136,6 +136,9 @@ func (m *Maintainer) AddGraphsCtx(stdctx context.Context, gs []*graph.Graph) (ti
 
 	start := time.Now()
 	ctx := core.NewContext(m.db, m.csgs)
+	if m.cfg.DisableCoverEngine {
+		ctx.DisableCoverEngine()
+	}
 	sel, err := core.SelectCtx(stdctx, ctx, m.cfg.Budget, m.cfg.Selection)
 	if err != nil {
 		return 0, fmt.Errorf("catapult: reselect after insert: %w", err)

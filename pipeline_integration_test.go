@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -133,9 +134,20 @@ func TestSelectCtxTraceSequenceAndCounters(t *testing.T) {
 		pipeline.CounterCandidatesGenerated,
 		pipeline.CounterCandidatesAccepted,
 		pipeline.CounterVF2Calls,
+		// Coverage-engine activity: scoring misses at least once, and the
+		// weight update re-asks the winning pattern's verdicts, which are
+		// guaranteed memo hits.
+		pipeline.CounterCoverMisses,
+		pipeline.CounterCoverHits,
 	} {
 		if rec.Total(c) <= 0 {
 			t.Errorf("counter %s = %d, want > 0", c, rec.Total(c))
+		}
+	}
+	// The facade surfaces the same totals on the result.
+	for c, n := range rec.Counters() {
+		if res.Counters[c] != n {
+			t.Errorf("Result.Counters[%s] = %d, recorder says %d", c, res.Counters[c], n)
 		}
 	}
 	if acc := rec.Total(pipeline.CounterCandidatesAccepted); acc != int64(len(res.Patterns)) {
@@ -172,6 +184,94 @@ func TestSelectCtxMatchesSelect(t *testing.T) {
 		if a.Patterns[i].Graph.String() != b.Patterns[i].Graph.String() {
 			t.Errorf("pattern %d differs", i)
 		}
+	}
+}
+
+// TestSelectEngineOnOffIdentical is the facade-level differential check:
+// full pipeline runs with the coverage engine enabled vs disabled are
+// byte-identical across several seeds (the engine accelerates scoring but
+// must not perturb selection).
+func TestSelectEngineOnOffIdentical(t *testing.T) {
+	db := dataset.AIDSLike(40, 1)
+	for _, seed := range []int64{7, 19, 42} {
+		cfg := stagedConfig()
+		cfg.Seed = seed
+		on, err := Select(db, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.DisableCoverEngine = true
+		off, err := Select(db, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(on.Patterns) != len(off.Patterns) {
+			t.Fatalf("seed %d: pattern counts differ: %d (engine) vs %d (naive)",
+				seed, len(on.Patterns), len(off.Patterns))
+		}
+		for i := range on.Patterns {
+			a, b := on.Patterns[i], off.Patterns[i]
+			if a.Graph.String() != b.Graph.String() || a.Score != b.Score ||
+				a.Ccov != b.Ccov || a.Lcov != b.Lcov || a.Div != b.Div || a.Cog != b.Cog {
+				t.Errorf("seed %d: pattern %d differs:\n engine: %v score=%v\n naive:  %v score=%v",
+					seed, i, a.Graph, a.Score, b.Graph, b.Score)
+			}
+		}
+		if on.Counters[pipeline.CounterCoverMisses] == 0 {
+			t.Errorf("seed %d: engine run reported no cover misses", seed)
+		}
+		if n := off.Counters[pipeline.CounterCoverMisses]; n != 0 {
+			t.Errorf("seed %d: disabled engine still reported %d cover misses", seed, n)
+		}
+	}
+}
+
+// cancelOnNthVF2 cancels the run on the n-th VF2 search observed after
+// pattern selection has started — i.e. in the middle of a coverage-engine
+// verification batch.
+type cancelOnNthVF2 struct {
+	cancel   context.CancelFunc
+	n        int64
+	inSelect atomic.Bool
+	seen     atomic.Int64
+}
+
+func (c *cancelOnNthVF2) StageStart(s pipeline.Stage) {
+	if s == pipeline.StageSelect {
+		c.inSelect.Store(true)
+	}
+}
+func (c *cancelOnNthVF2) StageEnd(pipeline.Stage, time.Duration) {}
+func (c *cancelOnNthVF2) Add(ctr pipeline.Counter, _ int64) {
+	if ctr == pipeline.CounterVF2Calls && c.inSelect.Load() {
+		if c.seen.Add(1) == c.n {
+			c.cancel()
+		}
+	}
+}
+
+func TestSelectCtxCancelDuringCoverBatch(t *testing.T) {
+	db := dataset.AIDSLike(40, 1)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctx = pipeline.WithTrace(ctx, &cancelOnNthVF2{cancel: cancel, n: 3})
+
+	res, err := SelectCtx(ctx, db, stagedConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Errorf("cancelled run returned a partial result: %+v", res)
+	}
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("goroutines leaked: %d -> %d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
