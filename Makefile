@@ -1,10 +1,15 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-gate
+.PHONY: check ci build vet fmt test race diff-race bench bench-gate bench-gate-cluster
 
 # check is the CI gate: vet, formatting, and the full test suite under the
 # race detector.
 check: vet fmt race
+
+# ci extends check with the differential suites pinned explicitly under the
+# race detector — the bit-identity proofs for the coverage engine
+# (internal/cover) and the similarity engine (internal/simcache).
+ci: check diff-race
 
 build:
 	$(GO) build ./...
@@ -24,7 +29,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench: bench-gate
+# diff-race runs only the engine-vs-naive differential tests, under -race
+# and without result caching, so cache-freshness never masks a divergence.
+diff-race:
+	$(GO) test -race -count=1 -run 'Differential' ./internal/core/ ./internal/cluster/
+
+bench: bench-gate bench-gate-cluster
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # bench-gate runs the coverage-engine regression gate: it writes
@@ -32,3 +42,9 @@ bench: bench-gate
 # sequential VF2 loop.
 bench-gate:
 	BENCH_GATE=1 $(GO) test -run '^TestCoverageBenchGate$$' -count=1 .
+
+# bench-gate-cluster runs the similarity-engine regression gate: it writes
+# BENCH_cluster.json and fails if memoized, parallel fine clustering is less
+# than 1.5x faster than the naive sequential MCCS loop.
+bench-gate-cluster:
+	BENCH_GATE_CLUSTER=1 $(GO) test -run '^TestClusteringBenchGate$$' -count=1 .

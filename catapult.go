@@ -81,6 +81,12 @@ type Config struct {
 	// bit-identical either way; the knob exists for ablation and as an
 	// escape hatch.
 	DisableCoverEngine bool
+	// DisableSimCache opts out of the memoized, parallel similarity engine
+	// (internal/simcache) during fine clustering, falling back to
+	// sequential, uncached MCS/MCCS similarity searches. Clustering output
+	// is bit-identical either way; the knob exists for ablation and as an
+	// escape hatch. Equivalent to setting Clustering.DisableSimCache.
+	DisableSimCache bool
 }
 
 func (c *Config) defaults() {
@@ -99,6 +105,9 @@ func (c *Config) defaults() {
 	}
 	if c.Selection.Seed == 0 && !c.Selection.SeedSet {
 		c.Selection.Seed = c.Seed
+	}
+	if c.DisableSimCache {
+		c.Clustering.DisableSimCache = true
 	}
 }
 

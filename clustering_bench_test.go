@@ -1,0 +1,132 @@
+// Benchmarks and the CI regression gate for the similarity engine
+// (internal/simcache): fine clustering's hot path — pairwise MCCS batches
+// against split seeds — with the engine on vs off. `make bench` runs the
+// gate, which writes BENCH_cluster.json and fails when the memoized,
+// parallel path is less than 1.5x faster than the naive sequential loop on
+// the seed dataset.
+package catapult_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/pipeline"
+)
+
+// clusteringFixture is the fine-clustering workload, built once per
+// process: a molecule database with heavy isomorphic redundancy (each base
+// molecule plus two vertex-permuted twins), the regime the engine's
+// canonical sharing targets and the one real repositories exhibit.
+type clusteringFixture struct {
+	db *graph.DB
+}
+
+var (
+	clusteringFix     *clusteringFixture
+	clusteringFixOnce sync.Once
+)
+
+func clusteringSetup() *clusteringFixture {
+	clusteringFixOnce.Do(func() {
+		base := dataset.AIDSLike(8, 5)
+		rng := rand.New(rand.NewSource(5))
+		var gs []*graph.Graph
+		for _, g := range base.Graphs {
+			gs = append(gs, g)
+			for c := 0; c < 2; c++ {
+				vs := make([]graph.VertexID, g.NumVertices())
+				for i := range vs {
+					vs[i] = graph.VertexID(i)
+				}
+				rng.Shuffle(len(vs), func(i, j int) { vs[i], vs[j] = vs[j], vs[i] })
+				p, _ := g.InducedSubgraph(vs)
+				gs = append(gs, p)
+			}
+		}
+		clusteringFix = &clusteringFixture{db: graph.NewDB("bench", gs)}
+	})
+	return clusteringFix
+}
+
+func benchClustering(b *testing.B, disableSimCache bool) {
+	fix := clusteringSetup()
+	cfg := cluster.Config{
+		Strategy:        cluster.FineOnlyMCCS,
+		N:               5,
+		MCSBudget:       4000,
+		Seed:            5,
+		SeedSet:         true,
+		DisableSimCache: disableSimCache,
+	}
+	rec := pipeline.NewRecorder()
+	ctx := pipeline.WithTrace(context.Background(), rec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// RunCtx builds a fresh engine per call, so the measured cost
+		// includes canonical labeling and engine setup — the speedup is not
+		// an artifact of cross-iteration cache reuse.
+		if _, err := cluster.RunCtx(ctx, fix.db, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if !disableSimCache && b.N > 0 {
+		n := float64(b.N)
+		b.ReportMetric(float64(rec.Total(pipeline.CounterSimHits))/n, "hits/op")
+		b.ReportMetric(float64(rec.Total(pipeline.CounterSimMisses))/n, "misses/op")
+		b.ReportMetric(float64(rec.Total(pipeline.CounterClusterPairsPruned))/n, "pruned/op")
+	}
+}
+
+// BenchmarkClustering compares fine clustering with the simcache engine
+// against the naive sequential MCCS loop on the seed dataset.
+func BenchmarkClustering(b *testing.B) {
+	b.Run("engine", func(b *testing.B) { benchClustering(b, false) })
+	b.Run("naive", func(b *testing.B) { benchClustering(b, true) })
+}
+
+// TestClusteringBenchGate is the regression gate behind `make
+// bench-gate-cluster`: it measures both paths with testing.Benchmark,
+// writes BENCH_cluster.json, and fails when the engine path is less than
+// 1.5x faster than the naive path. Opt-in via BENCH_GATE_CLUSTER=1 so
+// regular `go test ./...` stays fast.
+func TestClusteringBenchGate(t *testing.T) {
+	if os.Getenv("BENCH_GATE_CLUSTER") == "" {
+		t.Skip("set BENCH_GATE_CLUSTER=1 to run the clustering benchmark gate")
+	}
+	engine := testing.Benchmark(func(b *testing.B) { benchClustering(b, false) })
+	naive := testing.Benchmark(func(b *testing.B) { benchClustering(b, true) })
+
+	engineNs := float64(engine.NsPerOp())
+	naiveNs := float64(naive.NsPerOp())
+	report := struct {
+		EngineNsPerOp float64 `json:"engine_ns_op"`
+		NaiveNsPerOp  float64 `json:"naive_ns_op"`
+		Speedup       float64 `json:"speedup"`
+	}{engineNs, naiveNs, naiveNs / engineNs}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile("BENCH_cluster.json", buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("clustering gate: engine %.0f ns/op, naive %.0f ns/op, speedup %.2fx\n",
+		engineNs, naiveNs, report.Speedup)
+
+	const minSpeedup = 1.5
+	if report.Speedup < minSpeedup {
+		t.Fatalf("simcache speedup %.2fx below the %.1fx gate (engine %.0f ns/op, naive %.0f ns/op)",
+			report.Speedup, minSpeedup, engineNs, naiveNs)
+	}
+}

@@ -45,6 +45,68 @@ func Equal(a, b *graph.Graph) bool {
 	return String(a) == String(b)
 }
 
+// Reconstructible reports whether the canonical string of g can be decoded
+// back into a graph by Reconstruct. The encoding delimits vertex labels
+// with ';' and the label section with '|', so it is unambiguous exactly
+// when no vertex label contains either delimiter (true for every dataset
+// this repository generates or parses).
+func Reconstructible(g *graph.Graph) bool {
+	for v := 0; v < g.NumVertices(); v++ {
+		if strings.ContainsAny(g.Label(graph.VertexID(v)), ";|") {
+			return false
+		}
+	}
+	return true
+}
+
+// Reconstruct decodes a canonical string produced by String back into a
+// concrete graph: vertex v carries the v-th encoded label and edges follow
+// the upper-triangle adjacency bitmap. The result is a canonical
+// representative of the isomorphism class — a pure function of the string,
+// independent of whichever member graph produced it — which is what makes
+// it safe to key memoized similarity computations (internal/simcache) by
+// canonical form: the computation itself runs on Reconstruct's output, so
+// its result can never depend on the incidental vertex numbering of the
+// graph that triggered it. Decoding is only unambiguous for graphs that
+// satisfy Reconstructible; otherwise an error is returned.
+func Reconstruct(s string) (*graph.Graph, error) {
+	if s == "∅" {
+		return graph.New(0, 0), nil
+	}
+	sep := strings.IndexByte(s, '|')
+	if sep < 0 {
+		return nil, fmt.Errorf("canon: no label/adjacency separator in %q", s)
+	}
+	labelPart, bits := s[:sep], s[sep+1:]
+	if labelPart == "" || !strings.HasSuffix(labelPart, ";") {
+		return nil, fmt.Errorf("canon: malformed label section in %q", s)
+	}
+	labels := strings.Split(labelPart[:len(labelPart)-1], ";")
+	n := len(labels)
+	if len(bits) != n*(n-1)/2 {
+		return nil, fmt.Errorf("canon: adjacency bitmap has %d bits, want %d for %d vertices",
+			len(bits), n*(n-1)/2, n)
+	}
+	g := graph.New(n, len(bits))
+	for _, l := range labels {
+		g.AddVertex(l)
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch bits[k] {
+			case '1':
+				g.MustAddEdge(graph.VertexID(i), graph.VertexID(j))
+			case '0':
+			default:
+				return nil, fmt.Errorf("canon: invalid adjacency bit %q in %q", bits[k], s)
+			}
+			k++
+		}
+	}
+	return g, nil
+}
+
 type searchState struct {
 	g    *graph.Graph
 	n    int

@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mcs"
 	"repro/internal/pipeline"
+	"repro/internal/simcache"
 	"repro/internal/treemine"
 )
 
@@ -76,6 +77,12 @@ type Config struct {
 	// propagates its top-level Seed into a zero Seed when SeedSet is false,
 	// so a deliberate Seed of 0 is distinguishable from "not configured".
 	SeedSet bool
+	// DisableSimCache opts out of the memoized, parallel similarity engine
+	// (internal/simcache) during fine clustering, falling back to
+	// sequential, uncached MCS/MCCS searches. Clustering output is
+	// bit-identical either way; the knob exists for ablation and as an
+	// escape hatch.
+	DisableSimCache bool
 }
 
 func (c *Config) defaults() {
@@ -118,27 +125,27 @@ func Run(db *graph.DB, cfg Config) *Result {
 // returns (nil, ctx.Err()) — no partial clustering.
 func RunCtx(ctx context.Context, db *graph.DB, cfg Config) (*Result, error) {
 	cfg.defaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	coarseRng, fineRng := stageRngs(cfg.Seed)
 	switch cfg.Strategy {
 	case CoarseOnly:
-		cs, feats, err := coarse(ctx, db, cfg, rng)
+		cs, feats, err := coarse(ctx, db, cfg, coarseRng)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Clusters: cs, Features: feats}, nil
 	case FineOnlyMCCS, FineOnlyMCS:
 		all := &Cluster{Members: allIndices(db.Len())}
-		cs, err := fine(ctx, db, []*Cluster{all}, cfg, rng)
+		cs, err := fine(ctx, db, []*Cluster{all}, cfg, fineRng)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Clusters: cs}, nil
 	case HybridMCCS, HybridMCS:
-		cs, feats, err := coarse(ctx, db, cfg, rng)
+		cs, feats, err := coarse(ctx, db, cfg, coarseRng)
 		if err != nil {
 			return nil, err
 		}
-		cs, err = fine(ctx, db, cs, cfg, rng)
+		cs, err = fine(ctx, db, cs, cfg, fineRng)
 		if err != nil {
 			return nil, err
 		}
@@ -146,6 +153,21 @@ func RunCtx(ctx context.Context, db *graph.DB, cfg Config) (*Result, error) {
 	default:
 		panic(fmt.Sprintf("cluster: unknown strategy %v", cfg.Strategy))
 	}
+}
+
+// stageRngs derives independent coarse- and fine-stage RNGs from one root
+// stream seeded by the configured seed. Seeding each stage directly with
+// cfg.Seed — as every entry point once did — silently gave the coarse
+// k-means++ pass and every fine-splitting pass the *same* random stream,
+// so stage choices were correlated and separately invoked stages
+// (CoarseCtx + FineCtx) diverged from the composed RunCtx. Deriving both
+// seeds from a single root stream keeps every entry point on the same two
+// stage streams: RunCtx ≡ CoarseCtx followed by FineCtx, bit for bit.
+func stageRngs(seed int64) (coarseRng, fineRng *rand.Rand) {
+	root := rand.New(rand.NewSource(seed))
+	coarseSeed := root.Int63()
+	fineSeed := root.Int63()
+	return rand.New(rand.NewSource(coarseSeed)), rand.New(rand.NewSource(fineSeed))
 }
 
 // Coarse runs only the coarse (Algorithm 2) phase under cfg and returns the
@@ -159,7 +181,7 @@ func Coarse(db *graph.DB, cfg Config) *Result {
 // CoarseCtx is Coarse with cooperative cancellation and tracing.
 func CoarseCtx(ctx context.Context, db *graph.DB, cfg Config) (*Result, error) {
 	cfg.defaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng, _ := stageRngs(cfg.Seed)
 	cs, feats, err := coarse(ctx, db, cfg, rng)
 	if err != nil {
 		return nil, err
@@ -178,7 +200,7 @@ func Fine(db *graph.DB, in []*Cluster, cfg Config) []*Cluster {
 // before every split and inside the MCS/MCCS similarity searches.
 func FineCtx(ctx context.Context, db *graph.DB, in []*Cluster, cfg Config) ([]*Cluster, error) {
 	cfg.defaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	_, rng := stageRngs(cfg.Seed)
 	return fine(ctx, db, in, cfg, rng)
 }
 
@@ -197,7 +219,7 @@ func CoarseWithFeaturesCtx(ctx context.Context, db *graph.DB, features []*treemi
 	cfg.defaults()
 	done := pipeline.StartStage(ctx, pipeline.StageCoarse)
 	defer done()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng, _ := stageRngs(cfg.Seed)
 	if len(features) == 0 {
 		return []*Cluster{{Members: allIndices(db.Len())}}, nil
 	}
@@ -268,20 +290,40 @@ func coarse(ctx context.Context, db *graph.DB, cfg Config, rng *rand.Rand) ([]*C
 	return kmeansClusters(bits, db.Len(), cfg, rng), sel, nil
 }
 
+// simKind maps a fine-clustering strategy to its similarity measure.
+func (s Strategy) simKind() mcs.Kind {
+	if s == FineOnlyMCS || s == HybridMCS {
+		return mcs.KindMCS
+	}
+	return mcs.KindMCCS
+}
+
 // fine implements Algorithm 3: every cluster larger than N is split into
 // two around a random seed and the graph most dissimilar to it (by
 // MCS/MCCS similarity); splits repeat until all clusters are within N.
-// ctx is checked before every split and inside each similarity search;
-// each split is counted as CounterClustersSplit.
+// Similarities run through a simcache engine — memoized by canonical pair
+// and fanned out with par.ForCtx — unless cfg.DisableSimCache asks for the
+// sequential, uncached path; both paths schedule identical work in member
+// order over pure per-pair values, so cluster assignments are
+// bit-identical for any worker count. ctx is checked before every split
+// and inside each similarity search; each split is counted as
+// CounterClustersSplit.
 func fine(ctx context.Context, db *graph.DB, in []*Cluster, cfg Config, rng *rand.Rand) ([]*Cluster, error) {
 	endStage := pipeline.StartStage(ctx, pipeline.StageFine)
 	defer endStage()
 	tr := pipeline.From(ctx)
-	similarity := func(a, b *graph.Graph) (float64, error) {
-		if cfg.Strategy == FineOnlyMCS || cfg.Strategy == HybridMCS {
-			return mcs.SimilarityMCSCtx(ctx, a, b, cfg.MCSBudget)
+	// Built on first use so the common no-oversize-clusters case costs
+	// nothing.
+	var eng *simcache.Engine
+	engine := func() *simcache.Engine {
+		if eng == nil {
+			eng = simcache.New(db.Graphs, simcache.Options{
+				Kind:   cfg.Strategy.simKind(),
+				Budget: cfg.MCSBudget,
+				Naive:  cfg.DisableSimCache,
+			})
 		}
-		return mcs.SimilarityMCCSCtx(ctx, a, b, cfg.MCSBudget)
+		return eng
 	}
 
 	var done []*Cluster
@@ -305,40 +347,42 @@ func fine(ctx context.Context, db *graph.DB, in []*Cluster, cfg Config, rng *ran
 		// Seed1: random member. Seed2: member most dissimilar to Seed1.
 		mi := rng.Intn(cur.Len())
 		seed1 := cur.Members[mi]
-		g1 := db.Graph(seed1)
 		rest := make([]int, 0, cur.Len()-1)
 		for _, m := range cur.Members {
 			if m != seed1 {
 				rest = append(rest, m)
 			}
 		}
-		sims := make(map[int]float64, len(rest))
+		sims1, err := engine().BatchCtx(ctx, rest, seed1)
+		if err != nil {
+			return nil, err
+		}
 		seed2 := rest[0]
 		worst := 2.0
-		for _, m := range rest {
-			s, err := similarity(db.Graph(m), g1)
-			if err != nil {
-				return nil, err
-			}
-			sims[m] = s
-			if s < worst {
-				worst = s
+		for i, m := range rest {
+			if sims1[i] < worst {
+				worst = sims1[i]
 				seed2 = m
 			}
 		}
-		g2 := db.Graph(seed2)
+
+		rest2 := make([]int, 0, len(rest)-1)
+		toSeed1 := make([]float64, 0, len(rest)-1)
+		for i, m := range rest {
+			if m != seed2 {
+				rest2 = append(rest2, m)
+				toSeed1 = append(toSeed1, sims1[i])
+			}
+		}
+		sims2, err := engine().BatchCtx(ctx, rest2, seed2)
+		if err != nil {
+			return nil, err
+		}
 
 		c1 := &Cluster{Members: []int{seed1}}
 		c2 := &Cluster{Members: []int{seed2}}
-		for _, m := range rest {
-			if m == seed2 {
-				continue
-			}
-			s2, err := similarity(db.Graph(m), g2)
-			if err != nil {
-				return nil, err
-			}
-			if sims[m] > s2 {
+		for i, m := range rest2 {
+			if toSeed1[i] > sims2[i] {
 				c1.Members = append(c1.Members, m)
 			} else {
 				c2.Members = append(c2.Members, m)

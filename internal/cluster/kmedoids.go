@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/graph"
 	"repro/internal/mcs"
+	"repro/internal/simcache"
 )
 
 // K-medoids clustering over a graph distance. The paper notes coarse
@@ -32,11 +34,69 @@ func MCCSDistance(budget int) DistanceFunc {
 // assignment cost minimizer, until stable or maxIter rounds. Distances
 // are computed once into a matrix, so this is intended for the modest
 // database sizes the fine-clustering stage handles (N·k ≲ a few hundred).
+// The matrix is filled by direct per-pair calls to dist; KMedoidsCtx is
+// the memoized, parallel variant.
 func KMedoids(db *graph.DB, k int, dist DistanceFunc, seed int64, maxIter int) []*Cluster {
 	n := db.Len()
 	if n == 0 {
 		return nil
 	}
+	d := newDistMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := dist(db.Graph(i), db.Graph(j))
+			d[i][j] = v
+			d[j][i] = v
+		}
+	}
+	return pamCluster(d, k, seed, maxIter)
+}
+
+// KMedoidsCtx clusters db like KMedoids but computes the pairwise distance
+// matrix through a simcache engine: matrix rows fan out across workers via
+// par.ForCtx and isomorphic pairs share one memoized MCS/MCCS search.
+// Distances are 1 - similarity under the engine's configured measure.
+// Because every engine value is a pure function of its canonical pair, the
+// resulting clustering is bit-identical for any worker count and to an
+// engine constructed with Options.Naive. On cancellation it returns
+// (nil, ctx.Err()).
+func KMedoidsCtx(ctx context.Context, db *graph.DB, k int, eng *simcache.Engine, seed int64, maxIter int) ([]*Cluster, error) {
+	n := db.Len()
+	if n == 0 {
+		return nil, ctx.Err()
+	}
+	d := newDistMatrix(n)
+	// Row i covers pairs (i, j>i); rows are independent batches, each of
+	// which parallelizes its cache misses internally.
+	for i := 0; i < n-1; i++ {
+		row := make([]int, 0, n-1-i)
+		for j := i + 1; j < n; j++ {
+			row = append(row, j)
+		}
+		sims, err := eng.BatchCtx(ctx, row, i)
+		if err != nil {
+			return nil, err
+		}
+		for ri, j := range row {
+			v := 1 - sims[ri]
+			d[i][j] = v
+			d[j][i] = v
+		}
+	}
+	return pamCluster(d, k, seed, maxIter), nil
+}
+
+func newDistMatrix(n int) [][]float64 {
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	return d
+}
+
+// pamCluster runs the PAM alternation on a precomputed distance matrix.
+func pamCluster(d [][]float64, k int, seed int64, maxIter int) []*Cluster {
+	n := len(d)
 	if k <= 0 {
 		k = 1
 	}
@@ -47,19 +107,6 @@ func KMedoids(db *graph.DB, k int, dist DistanceFunc, seed int64, maxIter int) [
 		maxIter = 20
 	}
 	rng := rand.New(rand.NewSource(seed))
-
-	// Pairwise distance matrix (symmetric).
-	d := make([][]float64, n)
-	for i := range d {
-		d[i] = make([]float64, n)
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			v := dist(db.Graph(i), db.Graph(j))
-			d[i][j] = v
-			d[j][i] = v
-		}
-	}
 
 	// D² seeding on the distance matrix.
 	medoids := []int{rng.Intn(n)}

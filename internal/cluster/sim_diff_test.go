@@ -1,0 +1,195 @@
+package cluster_test
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	catapult "repro"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/csg"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/pipeline"
+)
+
+// Differential tests: clustering with the simcache engine must be
+// bit-identical to the sequential, uncached path — for whole clusterings,
+// for the CSGs built on top of them, and for full pipeline selections —
+// across seeds, strategies and worker counts. The engine is an exact
+// accelerator, not an approximation; these tests are the proof the package
+// doc of internal/simcache points at. Modeled on
+// internal/core/cover_diff_test.go.
+
+// permutedCopy returns an isomorphic copy of g with vertices renumbered by
+// a random permutation.
+func permutedCopy(g *graph.Graph, rng *rand.Rand) *graph.Graph {
+	vs := make([]graph.VertexID, g.NumVertices())
+	for i := range vs {
+		vs[i] = graph.VertexID(i)
+	}
+	rng.Shuffle(len(vs), func(i, j int) { vs[i], vs[j] = vs[j], vs[i] })
+	sub, _ := g.InducedSubgraph(vs)
+	return sub
+}
+
+// redundantDB builds a database with isomorphic redundancy — each base
+// molecule plus a permuted twin — so the engine's canonical sharing is
+// actually exercised.
+func redundantDB(seed int64) *graph.DB {
+	base := dataset.AIDSLike(10, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x7ca))
+	var gs []*graph.Graph
+	for _, g := range base.Graphs {
+		gs = append(gs, g, permutedCopy(g, rng))
+	}
+	return graph.NewDB("diff", gs)
+}
+
+func members(cs []*cluster.Cluster) [][]int {
+	out := make([][]int, len(cs))
+	for i, c := range cs {
+		out[i] = c.Members
+	}
+	return out
+}
+
+// TestDifferentialClusteringBitIdentical runs every fine-clustering
+// strategy with the engine on and off, the engine across worker counts
+// {1, 4, GOMAXPROCS}, and demands byte-identical clusters and CSGs.
+func TestDifferentialClusteringBitIdentical(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	workerCounts := []int{1, 4, prev}
+
+	strategies := []cluster.Strategy{cluster.FineOnlyMCCS, cluster.HybridMCCS, cluster.HybridMCS}
+	for seed := int64(1); seed <= 3; seed++ {
+		db := redundantDB(seed)
+		for _, st := range strategies {
+			cfg := cluster.Config{
+				Strategy:   st,
+				N:          6,
+				MinSupport: 0.2,
+				MCSBudget:  1500,
+				Seed:       seed,
+				SeedSet:    true,
+			}
+			naiveCfg := cfg
+			naiveCfg.DisableSimCache = true
+			want, err := cluster.RunCtx(context.Background(), db, naiveCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantCSGs := csg.BuildAll(db, members(want.Clusters))
+
+			for _, w := range workerCounts {
+				runtime.GOMAXPROCS(w)
+				got, err := cluster.RunCtx(context.Background(), db, cfg)
+				runtime.GOMAXPROCS(prev)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(members(got.Clusters), members(want.Clusters)) {
+					t.Fatalf("seed %d %v workers %d: clusters diverge\n engine: %v\n naive:  %v",
+						seed, st, w, members(got.Clusters), members(want.Clusters))
+				}
+				gotCSGs := csg.BuildAll(db, members(got.Clusters))
+				if len(gotCSGs) != len(wantCSGs) {
+					t.Fatalf("seed %d %v workers %d: CSG counts differ", seed, st, w)
+				}
+				for i := range gotCSGs {
+					if gotCSGs[i].G.String() != wantCSGs[i].G.String() ||
+						!reflect.DeepEqual(gotCSGs[i].Members, wantCSGs[i].Members) {
+						t.Errorf("seed %d %v workers %d: CSG %d diverges", seed, st, w, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialSelectFacade runs the full pipeline through the public
+// facade with DisableSimCache off and on: byte-identical patterns, score
+// breakdowns, clusters, CSGs and effective sizes — and the counters prove
+// the on-run actually used the cache while the off-run never touched it.
+func TestDifferentialSelectFacade(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		db := redundantDB(seed)
+		cfg := catapult.Config{
+			Budget: core.Budget{EtaMin: 3, EtaMax: 5, Gamma: 4},
+			Clustering: cluster.Config{
+				Strategy:   cluster.HybridMCCS,
+				N:          6,
+				MinSupport: 0.2,
+				MCSBudget:  1500,
+			},
+			Selection: core.Options{Walks: 6},
+			Seed:      seed,
+		}
+		offCfg := cfg
+		offCfg.DisableSimCache = true
+
+		on, err := catapult.Select(db, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := catapult.Select(db, offCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if on.Exhausted != off.Exhausted {
+			t.Errorf("seed %d: Exhausted differs: %v vs %v", seed, on.Exhausted, off.Exhausted)
+		}
+		if !reflect.DeepEqual(on.Clusters, off.Clusters) {
+			t.Fatalf("seed %d: clusters diverge\n on:  %v\n off: %v", seed, on.Clusters, off.Clusters)
+		}
+		if !reflect.DeepEqual(on.EffectiveSizes, off.EffectiveSizes) {
+			t.Errorf("seed %d: effective sizes diverge", seed)
+		}
+		if len(on.CSGs) != len(off.CSGs) {
+			t.Fatalf("seed %d: CSG counts differ: %d vs %d", seed, len(on.CSGs), len(off.CSGs))
+		}
+		for i := range on.CSGs {
+			if on.CSGs[i].G.String() != off.CSGs[i].G.String() ||
+				!reflect.DeepEqual(on.CSGs[i].Members, off.CSGs[i].Members) {
+				t.Errorf("seed %d: CSG %d diverges", seed, i)
+			}
+		}
+		if len(on.Patterns) != len(off.Patterns) {
+			t.Fatalf("seed %d: pattern counts differ: %d vs %d",
+				seed, len(on.Patterns), len(off.Patterns))
+		}
+		for i := range on.Patterns {
+			pa, pb := on.Patterns[i], off.Patterns[i]
+			if pa.Graph.String() != pb.Graph.String() {
+				t.Errorf("seed %d: pattern %d differs:\n on:  %v\n off: %v",
+					seed, i, pa.Graph, pb.Graph)
+			}
+			if pa.Score != pb.Score || pa.Ccov != pb.Ccov || pa.Lcov != pb.Lcov ||
+				pa.Div != pb.Div || pa.Cog != pb.Cog || pa.SourceCSG != pb.SourceCSG {
+				t.Errorf("seed %d: pattern %d breakdown differs:\n on:  %+v\n off: %+v",
+					seed, i, *pa, *pb)
+			}
+		}
+
+		if on.Counters[pipeline.CounterSimMisses] == 0 {
+			t.Errorf("seed %d: engine run recorded no simcache misses", seed)
+		}
+		if on.Counters[pipeline.CounterSimHits]+on.Counters[pipeline.CounterClusterPairsPruned] == 0 {
+			t.Errorf("seed %d: engine run shared no searches despite isomorphic twins: %v",
+				seed, on.Counters)
+		}
+		for _, c := range []pipeline.Counter{
+			pipeline.CounterSimHits, pipeline.CounterSimMisses, pipeline.CounterClusterPairsPruned,
+		} {
+			if off.Counters[c] != 0 {
+				t.Errorf("seed %d: naive run recorded %s = %d, want 0",
+					seed, c, off.Counters[c])
+			}
+		}
+	}
+}

@@ -20,11 +20,44 @@ package mcs
 
 import (
 	"context"
+	"fmt"
 	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/pipeline"
 )
+
+// Kind selects which of the two similarity measures a caller wants; it
+// exists so engines that memoize similarities (internal/simcache) and the
+// clustering strategies that consume them can carry the choice as a value
+// instead of branching at every call site.
+type Kind int
+
+const (
+	// KindMCCS is the connected measure ωmccs (the paper's default).
+	KindMCCS Kind = iota
+	// KindMCS is the unconnected measure ωmcs (the Exp 1 baseline).
+	KindMCS
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindMCCS:
+		return "mccs"
+	case KindMCS:
+		return "mcs"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// SimilarityKindCtx dispatches to SimilarityMCCSCtx or SimilarityMCSCtx
+// according to k.
+func SimilarityKindCtx(ctx context.Context, k Kind, g1, g2 *graph.Graph, budget int) (float64, error) {
+	if k == KindMCS {
+		return SimilarityMCSCtx(ctx, g1, g2, budget)
+	}
+	return SimilarityMCCSCtx(ctx, g1, g2, budget)
+}
 
 // Pair is a correspondence between a vertex of G1 and a vertex of G2.
 type Pair struct {

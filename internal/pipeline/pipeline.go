@@ -100,6 +100,17 @@ const (
 	// CounterCoverPruned counts (host, pattern) pairs the coverage engine
 	// rejected via the path-feature index without VF2 or a memo entry.
 	CounterCoverPruned Counter = "cover_pruned"
+	// CounterSimHits counts pairwise similarities served from the
+	// similarity cache (internal/simcache) without an MCS/MCCS search.
+	CounterSimHits Counter = "simcache_hits"
+	// CounterSimMisses counts pairwise similarities the similarity cache
+	// had to establish (memo miss; resolved by at most one search per
+	// canonically distinct pair per batch).
+	CounterSimMisses Counter = "simcache_misses"
+	// CounterClusterPairsPruned counts graph pairs that skipped a fresh
+	// MCS/MCCS search because an isomorphic pair was already being
+	// computed in the same fine-clustering batch.
+	CounterClusterPairsPruned Counter = "cluster_pairs_pruned"
 )
 
 // Trace observes pipeline execution. Implementations must be safe for

@@ -1,0 +1,235 @@
+package simcache
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/mcs"
+	"repro/internal/pipeline"
+)
+
+// permuted returns an isomorphic copy of g with vertices renumbered by a
+// random permutation.
+func permuted(g *graph.Graph, rng *rand.Rand) *graph.Graph {
+	vs := make([]graph.VertexID, g.NumVertices())
+	for i := range vs {
+		vs[i] = graph.VertexID(i)
+	}
+	rng.Shuffle(len(vs), func(i, j int) { vs[i], vs[j] = vs[j], vs[i] })
+	sub, _ := g.InducedSubgraph(vs)
+	return sub
+}
+
+// redundantGraphs builds a universe with heavy isomorphic redundancy:
+// every base graph plus `copies` permuted twins.
+func redundantGraphs(nBase, copies int, seed int64) []*graph.Graph {
+	base := dataset.AIDSLike(nBase, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x51caccce))
+	var gs []*graph.Graph
+	for _, g := range base.Graphs {
+		gs = append(gs, g)
+		for c := 0; c < copies; c++ {
+			gs = append(gs, permuted(g, rng))
+		}
+	}
+	return gs
+}
+
+func TestEngineMatchesNaive(t *testing.T) {
+	gs := redundantGraphs(6, 2, 11)
+	opts := Options{Kind: mcs.KindMCCS, Budget: 2000}
+	eng := New(gs, opts)
+	naiveOpts := opts
+	naiveOpts.Naive = true
+	naive := New(gs, naiveOpts)
+
+	ctx := context.Background()
+	members := make([]int, 0, len(gs))
+	for i := range gs {
+		members = append(members, i)
+	}
+	for _, target := range []int{0, 3, 7, len(gs) - 1} {
+		got, err := eng.BatchCtx(ctx, members, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := naive.BatchCtx(ctx, members, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("target %d: sim[%d] = %v engine, %v naive", target, i, got[i], want[i])
+			}
+			if got[i] < 0 || got[i] > 1 {
+				t.Fatalf("sim[%d] = %v outside [0,1]", i, got[i])
+			}
+		}
+	}
+
+	es, ns := eng.Stats(), naive.Stats()
+	if ns.Searches != ns.Misses || ns.Hits != 0 || ns.Pruned != 0 {
+		t.Errorf("naive stats inconsistent: %+v", ns)
+	}
+	if es.Searches >= ns.Searches {
+		t.Errorf("engine ran %d searches, naive %d — memo/dedup saved nothing", es.Searches, ns.Searches)
+	}
+	if es.Hits+es.Misses != ns.Misses {
+		t.Errorf("engine hits+misses = %d, want %d (every requested pair accounted)",
+			es.Hits+es.Misses, ns.Misses)
+	}
+}
+
+func TestCanonicalSharingWithinBatch(t *testing.T) {
+	base := dataset.AIDSLike(2, 7)
+	rng := rand.New(rand.NewSource(7))
+	a, b := base.Graph(0), base.Graph(1)
+	gs := []*graph.Graph{a, permuted(a, rng), permuted(a, rng), b}
+	eng := New(gs, Options{Budget: 2000})
+
+	sims, err := eng.BatchCtx(context.Background(), []int{0, 1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sims[0] != sims[1] || sims[1] != sims[2] {
+		t.Errorf("isomorphic members got different similarities: %v", sims)
+	}
+	s := eng.Stats()
+	if s.Pruned != 2 || s.Searches != 1 {
+		t.Errorf("stats = %+v, want 2 pruned and 1 search for 3 isomorphic pairs", s)
+	}
+	if eng.MemoSize() != 1 {
+		t.Errorf("memo holds %d entries, want 1", eng.MemoSize())
+	}
+
+	// A repeat batch is pure cache hits.
+	if _, err := eng.BatchCtx(context.Background(), []int{0, 1, 2}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if s := eng.Stats(); s.Hits != 3 || s.Searches != 1 {
+		t.Errorf("after repeat: stats = %+v, want 3 hits and still 1 search", s)
+	}
+}
+
+func TestSelfSimilarityAndEmpty(t *testing.T) {
+	g := graph.New(3, 2)
+	g.AddVertex("C")
+	g.AddVertex("C")
+	g.AddVertex("O")
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	empty := graph.New(0, 0)
+	eng := New([]*graph.Graph{g, empty}, Options{})
+
+	s, err := eng.SimilarityCtx(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1 {
+		t.Errorf("self similarity = %v, want 1", s)
+	}
+	s, err = eng.SimilarityCtx(context.Background(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Errorf("similarity against empty graph = %v, want 0", s)
+	}
+}
+
+// TestIdentityKeyFallbacks: graphs that cannot take canonical keys — too
+// large for the cap, or labels the encoding cannot round-trip — must still
+// produce values identical to the naive path (they just forgo sharing).
+func TestIdentityKeyFallbacks(t *testing.T) {
+	gs := redundantGraphs(4, 1, 3)
+	weird := graph.New(2, 1)
+	weird.AddVertex("a;b")
+	weird.AddVertex("a|b")
+	weird.MustAddEdge(0, 1)
+	gs = append(gs, weird)
+
+	opts := Options{Budget: 2000, MaxCanonVertices: 8} // below dataset sizes
+	eng := New(gs, opts)
+	naiveOpts := opts
+	naiveOpts.Naive = true
+	naive := New(gs, naiveOpts)
+
+	members := make([]int, len(gs))
+	for i := range members {
+		members[i] = i
+	}
+	got, err := eng.BatchCtx(context.Background(), members, len(gs)-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := naive.BatchCtx(context.Background(), members, len(gs)-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("sim[%d] = %v engine, %v naive", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatchReportsPipelineCounters(t *testing.T) {
+	gs := redundantGraphs(3, 2, 5)
+	eng := New(gs, Options{Budget: 1000})
+	rec := pipeline.NewRecorder()
+	ctx := pipeline.WithTrace(context.Background(), rec)
+
+	members := make([]int, len(gs)-1)
+	for i := range members {
+		members[i] = i
+	}
+	target := len(gs) - 1
+	for i := 0; i < 2; i++ {
+		if _, err := eng.BatchCtx(ctx, members, target); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rec.Total(pipeline.CounterSimMisses) == 0 {
+		t.Error("no simcache_misses recorded")
+	}
+	if rec.Total(pipeline.CounterSimHits) == 0 {
+		t.Error("no simcache_hits recorded on the repeat batch")
+	}
+	if rec.Total(pipeline.CounterClusterPairsPruned) == 0 {
+		t.Error("no cluster_pairs_pruned recorded despite isomorphic members")
+	}
+	s := eng.Stats()
+	if rec.Total(pipeline.CounterSimHits) != s.Hits ||
+		rec.Total(pipeline.CounterSimMisses) != s.Misses ||
+		rec.Total(pipeline.CounterClusterPairsPruned) != s.Pruned {
+		t.Errorf("tracer totals diverge from Stats %+v", s)
+	}
+}
+
+// TestKindMCSSupported exercises the unconnected measure through the
+// engine against its naive twin.
+func TestKindMCSSupported(t *testing.T) {
+	gs := redundantGraphs(4, 1, 9)
+	opts := Options{Kind: mcs.KindMCS, Budget: 1000}
+	eng := New(gs, opts)
+	naiveOpts := opts
+	naiveOpts.Naive = true
+	naive := New(gs, naiveOpts)
+	members := []int{0, 1, 2, 3, 4, 5}
+	got, err := eng.BatchCtx(context.Background(), members, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := naive.BatchCtx(context.Background(), members, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("mcs sim[%d] = %v engine, %v naive", i, got[i], want[i])
+		}
+	}
+}
