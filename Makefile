@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci build vet fmt test race diff-race bench bench-gate bench-gate-cluster
+.PHONY: check ci build vet fmt test race diff-race chaos bench bench-gate bench-gate-cluster bench-gate-resilience
 
 # check is the CI gate: vet, formatting, and the full test suite under the
 # race detector.
@@ -8,8 +8,9 @@ check: vet fmt race
 
 # ci extends check with the differential suites pinned explicitly under the
 # race detector — the bit-identity proofs for the coverage engine
-# (internal/cover) and the similarity engine (internal/simcache).
-ci: check diff-race
+# (internal/cover) and the similarity engine (internal/simcache) — and the
+# fault-injection chaos suite for the resilience layer.
+ci: check diff-race chaos
 
 build:
 	$(GO) build ./...
@@ -34,7 +35,13 @@ race:
 diff-race:
 	$(GO) test -race -count=1 -run 'Differential' ./internal/core/ ./internal/cluster/
 
-bench: bench-gate bench-gate-cluster
+# chaos runs the fault-injection suite under -race: injected worker panics
+# and stalls in every pipeline phase must degrade — never crash or leak —
+# and the unbounded guarded run must stay bit-identical.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos' ./...
+
+bench: bench-gate bench-gate-cluster bench-gate-resilience
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # bench-gate runs the coverage-engine regression gate: it writes
@@ -48,3 +55,10 @@ bench-gate:
 # than 1.5x faster than the naive sequential MCCS loop.
 bench-gate-cluster:
 	BENCH_GATE_CLUSTER=1 $(GO) test -run '^TestClusteringBenchGate$$' -count=1 .
+
+# bench-gate-resilience measures anytime selection quality: it writes
+# BENCH_resilience.json recording the subgraph coverage retained when the
+# pipeline is deadlined at 25% / 50% / 75% of its unconstrained wall clock,
+# and fails if a degraded run returns an empty pattern set.
+bench-gate-resilience:
+	BENCH_GATE_RESILIENCE=1 $(GO) test -run '^TestResilienceBenchGate$$' -count=1 -timeout 600s .

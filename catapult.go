@@ -39,6 +39,7 @@ import (
 	"repro/internal/csg"
 	"repro/internal/graph"
 	"repro/internal/pipeline"
+	"repro/internal/resilience"
 	"repro/internal/sampling"
 	"repro/internal/treemine"
 )
@@ -87,6 +88,17 @@ type Config struct {
 	// is bit-identical either way; the knob exists for ablation and as an
 	// escape hatch. Equivalent to setting Clustering.DisableSimCache.
 	DisableSimCache bool
+	// Degradation configures anytime, deadline-aware graceful degradation
+	// (internal/resilience). When Enabled, the overall deadline —
+	// Degradation.Deadline and/or the context deadline, whichever is
+	// sooner — is split into per-phase soft budgets; an overrunning phase
+	// returns its best partial result instead of an error, worker panics
+	// are contained as stage faults, and Result.Health reports per-stage
+	// status. When Enabled with no deadline at all, only panic containment
+	// and health reporting are active and output is bit-identical to a
+	// disabled run. The zero value (disabled) preserves the legacy
+	// all-or-nothing contract exactly.
+	Degradation resilience.Config
 }
 
 func (c *Config) defaults() {
@@ -138,6 +150,16 @@ type Result struct {
 	Counters map[pipeline.Counter]int64
 	// Exhausted is true when fewer than γ patterns could be selected.
 	Exhausted bool
+	// Health is the degradation report when Config.Degradation.Enabled:
+	// per-phase status (complete / degraded / skipped), contained faults,
+	// and degradation counters. Nil when degradation is disabled.
+	Health *resilience.Health
+}
+
+// Degraded reports whether any phase of this run degraded or skipped, or
+// any fault was contained. Always false when degradation was not enabled.
+func (r *Result) Degraded() bool {
+	return r.Health != nil && r.Health.Degraded
 }
 
 // PatternGraphs returns the bare selected pattern graphs.
@@ -174,17 +196,64 @@ func SelectCtx(stdctx context.Context, db *graph.DB, cfg Config) (*Result, error
 	stdctx = pipeline.WithTrace(stdctx, pipeline.Tee(rec, pipeline.From(stdctx)))
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	// Degradation controller: split the overall budget — Degradation.
+	// Deadline and/or the context deadline, whichever is sooner — into
+	// per-phase soft budgets. The hard deadline is armed as a context
+	// deadline with ErrBudgetExhausted as cause, so its expiry is
+	// distinguishable from an explicit user cancel and classed salvageable.
+	var ctrl *resilience.Controller
+	if cfg.Degradation.Enabled {
+		now := time.Now()
+		var hard time.Time
+		if cfg.Degradation.Deadline > 0 {
+			hard = now.Add(cfg.Degradation.Deadline)
+		}
+		if d, ok := stdctx.Deadline(); ok && (hard.IsZero() || d.Before(hard)) {
+			hard = d
+		}
+		ctrl = resilience.NewController(cfg.Degradation, now, hard)
+		stdctx = resilience.WithController(stdctx, ctrl)
+		if !hard.IsZero() {
+			var cancel context.CancelFunc
+			stdctx, cancel = context.WithDeadlineCause(stdctx, hard, resilience.ErrBudgetExhausted)
+			defer cancel()
+		}
+	}
+	// phaseCtx opens phase s on the controller and bounds it with its soft
+	// deadline; a no-op pass-through when degradation is disabled or
+	// unbounded.
+	phaseCtx := func(s pipeline.Stage) (context.Context, context.CancelFunc) {
+		if ctrl == nil {
+			return stdctx, func() {}
+		}
+		ctrl.BeginPhase(s)
+		if dl, ok := ctrl.PhaseDeadline(); ok {
+			return context.WithDeadlineCause(stdctx, dl, resilience.ErrBudgetExhausted)
+		}
+		return stdctx, func() {}
+	}
+	endPhase := func(cancel context.CancelFunc) {
+		cancel()
+		if ctrl != nil {
+			ctrl.EndPhase()
+		}
+	}
+
+	// Phase 1: clustering. Under degradation, a salvageable failure
+	// (deadline, contained fault that escaped the per-stage fallbacks)
+	// degrades to structure-blind uniform chunk clusters.
+	cctx, cancelCluster := phaseCtx(pipeline.StageClustering)
 	var clusters []*cluster.Cluster
 	var effSizes []float64
 	err := func() error {
-		done := pipeline.StartStage(stdctx, pipeline.StageClustering)
+		done := pipeline.StartStage(cctx, pipeline.StageClustering)
 		defer done()
 		if cfg.Sampling != nil {
 			var err error
-			clusters, effSizes, err = clusterWithSampling(stdctx, db, cfg, rng)
+			clusters, effSizes, err = clusterWithSampling(cctx, db, cfg, rng)
 			return err
 		}
-		res, err := cluster.RunCtx(stdctx, db, cfg.Clustering)
+		res, err := cluster.RunCtx(cctx, db, cfg.Clustering)
 		if err != nil {
 			return err
 		}
@@ -196,27 +265,74 @@ func SelectCtx(stdctx context.Context, db *graph.DB, cfg Config) (*Result, error
 		return nil
 	}()
 	if err != nil {
-		return nil, err
+		if ctrl == nil || !resilience.Salvageable(err) {
+			endPhase(cancelCluster)
+			return nil, err
+		}
+		ctrl.MarkSkipped("clustering salvaged to uniform chunks: " + err.Error())
+		ctrl.Count("coarse_fallback", 1)
+		clusters = cluster.Chunks(db.Len(), cfg.Clustering.N)
+		effSizes = make([]float64, len(clusters))
+		for i, c := range clusters {
+			effSizes[i] = float64(c.Len())
+		}
 	}
+	endPhase(cancelCluster)
 
 	memberLists := make([][]int, len(clusters))
 	for i, c := range clusters {
 		memberLists[i] = c.Members
 	}
-	csgs, err := csg.BuildAllCtx(stdctx, db, memberLists)
+
+	// Phase 2: CSG construction. Under degradation, BuildAllCtx returns
+	// nil entries for skipped/faulted clusters; drop those clusters (and
+	// their effective sizes) and guarantee at least one summary survives so
+	// selection always has a CSG to walk.
+	gctx, cancelCSG := phaseCtx(pipeline.StageCSG)
+	csgs, err := csg.BuildAllCtx(gctx, db, memberLists)
 	if err != nil {
-		return nil, err
+		if ctrl == nil || !resilience.Salvageable(err) {
+			endPhase(cancelCSG)
+			return nil, err
+		}
+		ctrl.MarkSkipped("csg construction salvaged: " + err.Error())
+		csgs = make([]*csg.CSG, len(memberLists))
+	}
+	if ctrl != nil {
+		memberLists, effSizes, csgs = dropSkippedCSGs(memberLists, effSizes, csgs)
+		if len(csgs) == 0 {
+			// Nothing survived: build the smallest cluster's summary on a
+			// detached context (cancellation stripped, trace/controller
+			// kept) so selection has at least one CSG. Bounded by the
+			// cluster-size cap N.
+			mi := smallestCluster(clusters)
+			fallback, ferr := csg.BuildCtx(context.WithoutCancel(gctx), db, clusters[mi].Members)
+			if ferr == nil && fallback != nil {
+				memberLists = [][]int{clusters[mi].Members}
+				effSizes = []float64{float64(clusters[mi].Len())}
+				csgs = []*csg.CSG{fallback}
+				ctrl.Count("csg_fallback_build", 1)
+			}
+		}
+	}
+	endPhase(cancelCSG)
+	if len(csgs) == 0 {
+		return nil, fmt.Errorf("catapult: no cluster summary could be built within budget")
 	}
 
+	// Phase 3: pattern selection (anytime under degradation: returns the
+	// patterns selected so far on overrun or contained fault).
+	sctx, cancelSelect := phaseCtx(pipeline.StageSelect)
 	ctx := core.NewContextSized(db, csgs, effSizes)
 	if cfg.DisableCoverEngine {
 		ctx.DisableCoverEngine()
 	}
-	sel, err := core.SelectCtx(stdctx, ctx, cfg.Budget, cfg.Selection)
+	sel, err := core.SelectCtx(sctx, ctx, cfg.Budget, cfg.Selection)
+	endPhase(cancelSelect)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Patterns:       sel.Patterns,
 		Clusters:       memberLists,
 		CSGs:           csgs,
@@ -226,7 +342,41 @@ func SelectCtx(stdctx context.Context, db *graph.DB, cfg Config) (*Result, error
 		PatternTime:    rec.Duration(pipeline.StageSelect),
 		Counters:       rec.Counters(),
 		Exhausted:      sel.Exhausted,
-	}, nil
+	}
+	if ctrl != nil {
+		res.Health = ctrl.Health()
+	}
+	return res, nil
+}
+
+// dropSkippedCSGs removes nil summaries (skipped or faulted clusters) from
+// the csgs slice, dropping the matching clusters and effective sizes in
+// lockstep so cluster weights stay aligned.
+func dropSkippedCSGs(memberLists [][]int, effSizes []float64, csgs []*csg.CSG) ([][]int, []float64, []*csg.CSG) {
+	outM := memberLists[:0]
+	outS := effSizes[:0]
+	outC := csgs[:0]
+	for i, c := range csgs {
+		if c == nil {
+			continue
+		}
+		outM = append(outM, memberLists[i])
+		outS = append(outS, effSizes[i])
+		outC = append(outC, c)
+	}
+	return outM, outS, outC
+}
+
+// smallestCluster returns the index of the cluster with the fewest members
+// (lowest index on ties).
+func smallestCluster(cs []*cluster.Cluster) int {
+	best := 0
+	for i, c := range cs {
+		if c.Len() < cs[best].Len() {
+			best = i
+		}
+	}
+	return best
 }
 
 // clusterWithSampling implements the two-level sampling pipeline of

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	catapult -in db.txt -min 3 -max 12 -gamma 30 [-sample] [-out patterns.txt]
+//	catapult -in db.txt -min 3 -max 12 -gamma 30 [-sample] [-deadline 30s] [-health] [-out patterns.txt]
 //
 // The input is the line-oriented transaction format of internal/graph
 // ("t # <id>" / "v <id> <label>" / "e <u> <v>"). Selected patterns are
@@ -23,26 +23,29 @@ import (
 	"repro/internal/freqmine"
 	"repro/internal/graph"
 	"repro/internal/pipeline"
+	"repro/internal/resilience"
 )
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input database file (required)")
-		out     = flag.String("out", "", "output pattern file (default stdout)")
-		etaMin  = flag.Int("min", 3, "minimum pattern size ηmin (edges, > 2)")
-		etaMax  = flag.Int("max", 12, "maximum pattern size ηmax (edges)")
-		gamma   = flag.Int("gamma", 30, "number of patterns γ")
-		n       = flag.Int("n", 20, "maximum cluster size N")
-		minSup  = flag.Float64("minsup", 0.1, "frequent subtree support threshold")
-		sample  = flag.Bool("sample", false, "enable eager+lazy sampling (Sec 4.3)")
-		seed    = flag.Int64("seed", 42, "random seed")
-		walks   = flag.Int("walks", 20, "random walks per CSG and size")
-		topCSGs = flag.Int("topcsgs", 0, "propose candidates from only the top-k CSGs per iteration (0 = all)")
-		logFile = flag.String("log", "", "optional query-log file: boosts patterns frequent in past queries")
-		graphml = flag.Bool("graphml", false, "emit patterns as GraphML instead of transaction text")
-		basic   = flag.Int("basic", 0, "also select the top-m basic patterns (size ≤ 2, by support)")
-		timeout = flag.Duration("timeout", 0, "abort the pipeline after this duration (0 = no limit)")
-		trace   = flag.Bool("trace", false, "log pipeline stages and counters to stderr")
+		in       = flag.String("in", "", "input database file (required)")
+		out      = flag.String("out", "", "output pattern file (default stdout)")
+		etaMin   = flag.Int("min", 3, "minimum pattern size ηmin (edges, > 2)")
+		etaMax   = flag.Int("max", 12, "maximum pattern size ηmax (edges)")
+		gamma    = flag.Int("gamma", 30, "number of patterns γ")
+		n        = flag.Int("n", 20, "maximum cluster size N")
+		minSup   = flag.Float64("minsup", 0.1, "frequent subtree support threshold")
+		sample   = flag.Bool("sample", false, "enable eager+lazy sampling (Sec 4.3)")
+		seed     = flag.Int64("seed", 42, "random seed")
+		walks    = flag.Int("walks", 20, "random walks per CSG and size")
+		topCSGs  = flag.Int("topcsgs", 0, "propose candidates from only the top-k CSGs per iteration (0 = all)")
+		logFile  = flag.String("log", "", "optional query-log file: boosts patterns frequent in past queries")
+		graphml  = flag.Bool("graphml", false, "emit patterns as GraphML instead of transaction text")
+		basic    = flag.Int("basic", 0, "also select the top-m basic patterns (size ≤ 2, by support)")
+		timeout  = flag.Duration("timeout", 0, "abort the pipeline after this duration (0 = no limit)")
+		deadline = flag.Duration("deadline", 0, "anytime deadline: degrade gracefully instead of aborting, returning the best pattern set found in time")
+		health   = flag.Bool("health", false, "print the per-stage degradation report to stderr after the run")
+		trace    = flag.Bool("trace", false, "log pipeline stages and counters to stderr")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -85,6 +88,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "query log: %d queries (log-aware scoring enabled)\n", logDB.Len())
 	}
 
+	if *deadline > 0 || *health {
+		cfg.Degradation = resilience.Config{Enabled: true, Deadline: *deadline}
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -102,11 +109,16 @@ func main() {
 		lt.WriteSummary()
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "catapult: aborted after -timeout %v (no partial result)\n", *timeout)
+		fmt.Fprintf(os.Stderr, "catapult: aborted after -timeout %v (no partial result; use -deadline for graceful degradation)\n", *timeout)
 		os.Exit(1)
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if *health && res.Health != nil {
+		fmt.Fprint(os.Stderr, res.Health)
+	} else if res.Degraded() {
+		fmt.Fprintf(os.Stderr, "catapult: degraded under -deadline %v (rerun with -health for details)\n", *deadline)
 	}
 	fmt.Fprintf(os.Stderr, "clustering: %v (%d clusters), pattern selection: %v\n",
 		res.ClusteringTime, len(res.Clusters), res.PatternTime)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mcs"
 	"repro/internal/pipeline"
+	"repro/internal/resilience"
 	"repro/internal/simcache"
 	"repro/internal/treemine"
 )
@@ -217,7 +218,7 @@ func CoarseWithFeatures(db *graph.DB, features []*treemine.FrequentTree, cfg Con
 // and tracing (StageCoarse).
 func CoarseWithFeaturesCtx(ctx context.Context, db *graph.DB, features []*treemine.FrequentTree, cfg Config) ([]*Cluster, error) {
 	cfg.defaults()
-	done := pipeline.StartStage(ctx, pipeline.StageCoarse)
+	ctx, done := pipeline.Scope(ctx, pipeline.StageCoarse)
 	defer done()
 	rng, _ := stageRngs(cfg.Seed)
 	if len(features) == 0 {
@@ -266,10 +267,61 @@ func allIndices(n int) []int {
 	return s
 }
 
+// Chunks partitions [0, n) into contiguous clusters of at most size members
+// (paper default 20 when size <= 0). It is the degradation fallback when
+// coarse clustering cannot finish within budget: structure-blind but valid,
+// so CSG construction and pattern selection can still run.
+func Chunks(n, size int) []*Cluster {
+	if size <= 0 {
+		size = 20
+	}
+	var out []*Cluster
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		members := make([]int, hi-lo)
+		for i := range members {
+			members[i] = lo + i
+		}
+		out = append(out, &Cluster{Members: members})
+	}
+	return out
+}
+
 // coarse implements Algorithm 2: mine frequent subtrees, refine them with
 // facility-location selection, build binary feature vectors, k-means.
+//
+// Under a resilience controller, a panic anywhere in the phase or a
+// salvageable cancellation (soft-budget expiry, hard-deadline backstop)
+// degrades to structure-blind uniform Chunks clusters instead of failing:
+// every downstream phase still gets a valid clustering to work with.
 func coarse(ctx context.Context, db *graph.DB, cfg Config, rng *rand.Rand) ([]*Cluster, []*treemine.FrequentTree, error) {
-	done := pipeline.StartStage(ctx, pipeline.StageCoarse)
+	if resilience.From(ctx) == nil {
+		return coarseImpl(ctx, db, cfg, rng)
+	}
+	var (
+		cs    []*Cluster
+		feats []*treemine.FrequentTree
+		err   error
+	)
+	fault := resilience.Guard(ctx, pipeline.StageCoarse, func() {
+		cs, feats, err = coarseImpl(ctx, db, cfg, rng)
+	})
+	if fault == nil && err == nil {
+		return cs, feats, nil
+	}
+	if fault == nil && !resilience.Salvageable(err) {
+		return nil, nil, err
+	}
+	resilience.Count(ctx, "coarse_fallback", 1)
+	resilience.Degraded(ctx, "coarse clustering fell back to uniform chunks")
+	return Chunks(db.Len(), cfg.N), nil, nil
+}
+
+func coarseImpl(ctx context.Context, db *graph.DB, cfg Config, rng *rand.Rand) ([]*Cluster, []*treemine.FrequentTree, error) {
+	ctx, done := pipeline.Scope(ctx, pipeline.StageCoarse)
 	defer done()
 	all, err := treemine.MineCtx(ctx, db, treemine.MineOptions{
 		MinSupport: cfg.MinSupport,
@@ -309,9 +361,10 @@ func (s Strategy) simKind() mcs.Kind {
 // and inside each similarity search; each split is counted as
 // CounterClustersSplit.
 func fine(ctx context.Context, db *graph.DB, in []*Cluster, cfg Config, rng *rand.Rand) ([]*Cluster, error) {
-	endStage := pipeline.StartStage(ctx, pipeline.StageFine)
+	ctx, endStage := pipeline.Scope(ctx, pipeline.StageFine)
 	defer endStage()
 	tr := pipeline.From(ctx)
+	anytime := resilience.From(ctx) != nil
 	// Built on first use so the common no-oversize-clusters case costs
 	// nothing.
 	var eng *simcache.Engine
@@ -336,67 +389,104 @@ func fine(ctx context.Context, db *graph.DB, in []*Cluster, cfg Config, rng *ran
 		}
 	}
 
+	// salvage accepts every unprocessed oversize cluster as-is (coarse-only
+	// assignment) — the fine phase's best partial result under a deadline.
+	salvage := func(rest []*Cluster, why string) []*Cluster {
+		resilience.Count(ctx, "clusters_unsplit", int64(len(rest)))
+		resilience.Degraded(ctx, fmt.Sprintf("%d oversize clusters left unsplit (%s)", len(rest), why))
+		return append(done, rest...)
+	}
+
 	for len(large) > 0 {
 		if err := ctx.Err(); err != nil {
+			if cause := context.Cause(ctx); cause != nil {
+				err = cause
+			}
+			if anytime && resilience.Salvageable(err) {
+				return salvage(large, "deadline"), nil
+			}
 			return nil, err
+		}
+		if anytime && resilience.Overrun(ctx) {
+			return salvage(large, "soft budget"), nil
 		}
 		cur := large[0]
 		large = large[1:]
-		tr.Add(pipeline.CounterClustersSplit, 1)
 
-		// Seed1: random member. Seed2: member most dissimilar to Seed1.
-		mi := rng.Intn(cur.Len())
-		seed1 := cur.Members[mi]
-		rest := make([]int, 0, cur.Len()-1)
-		for _, m := range cur.Members {
-			if m != seed1 {
-				rest = append(rest, m)
-			}
-		}
-		sims1, err := engine().BatchCtx(ctx, rest, seed1)
-		if err != nil {
-			return nil, err
-		}
-		seed2 := rest[0]
-		worst := 2.0
-		for i, m := range rest {
-			if sims1[i] < worst {
-				worst = sims1[i]
-				seed2 = m
-			}
-		}
+		// The split body runs under a panic guard: a contained fault keeps
+		// cur with its coarse-only assignment and moves on to the next
+		// oversize cluster. Without a controller, Guard runs it unguarded.
+		var splitErr error
+		fault := resilience.Guard(ctx, pipeline.StageFine, func() {
+			tr.Add(pipeline.CounterClustersSplit, 1)
 
-		rest2 := make([]int, 0, len(rest)-1)
-		toSeed1 := make([]float64, 0, len(rest)-1)
-		for i, m := range rest {
-			if m != seed2 {
-				rest2 = append(rest2, m)
-				toSeed1 = append(toSeed1, sims1[i])
+			// Seed1: random member. Seed2: member most dissimilar to Seed1.
+			mi := rng.Intn(cur.Len())
+			seed1 := cur.Members[mi]
+			rest := make([]int, 0, cur.Len()-1)
+			for _, m := range cur.Members {
+				if m != seed1 {
+					rest = append(rest, m)
+				}
 			}
-		}
-		sims2, err := engine().BatchCtx(ctx, rest2, seed2)
-		if err != nil {
-			return nil, err
-		}
+			sims1, err := engine().BatchCtx(ctx, rest, seed1)
+			if err != nil {
+				splitErr = err
+				return
+			}
+			seed2 := rest[0]
+			worst := 2.0
+			for i, m := range rest {
+				if sims1[i] < worst {
+					worst = sims1[i]
+					seed2 = m
+				}
+			}
 
-		c1 := &Cluster{Members: []int{seed1}}
-		c2 := &Cluster{Members: []int{seed2}}
-		for i, m := range rest2 {
-			if toSeed1[i] > sims2[i] {
-				c1.Members = append(c1.Members, m)
-			} else {
-				c2.Members = append(c2.Members, m)
+			rest2 := make([]int, 0, len(rest)-1)
+			toSeed1 := make([]float64, 0, len(rest)-1)
+			for i, m := range rest {
+				if m != seed2 {
+					rest2 = append(rest2, m)
+					toSeed1 = append(toSeed1, sims1[i])
+				}
 			}
+			sims2, err := engine().BatchCtx(ctx, rest2, seed2)
+			if err != nil {
+				splitErr = err
+				return
+			}
+
+			c1 := &Cluster{Members: []int{seed1}}
+			c2 := &Cluster{Members: []int{seed2}}
+			for i, m := range rest2 {
+				if toSeed1[i] > sims2[i] {
+					c1.Members = append(c1.Members, m)
+				} else {
+					c2.Members = append(c2.Members, m)
+				}
+			}
+			for _, nc := range []*Cluster{c1, c2} {
+				if nc.Len() > cfg.N && nc.Len() < cur.Len() {
+					large = append(large, nc)
+				} else {
+					// Either within budget or the split made no progress
+					// (all graphs equally similar); accept to guarantee
+					// termination.
+					done = append(done, nc)
+				}
+			}
+		})
+		if fault != nil {
+			resilience.Count(ctx, "clusters_unsplit", 1)
+			done = append(done, cur)
+			continue
 		}
-		for _, nc := range []*Cluster{c1, c2} {
-			if nc.Len() > cfg.N && nc.Len() < cur.Len() {
-				large = append(large, nc)
-			} else {
-				// Either within budget or the split made no progress
-				// (all graphs equally similar); accept to guarantee
-				// termination.
-				done = append(done, nc)
+		if splitErr != nil {
+			if anytime && resilience.Salvageable(splitErr) {
+				return salvage(append([]*Cluster{cur}, large...), "deadline"), nil
 			}
+			return nil, splitErr
 		}
 	}
 	return done, nil

@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sort"
 
 	"repro/internal/canon"
 	"repro/internal/graph"
 	"repro/internal/pipeline"
+	"repro/internal/resilience"
 )
 
 // Select runs Algorithm 4: greedy, one canned pattern per iteration, until
@@ -26,14 +28,23 @@ func Select(ctx *Context, b Budget, opts Options) (*Result, error) {
 // as generated (every non-nil proposal), rejected (isomorphic duplicates)
 // and accepted (patterns added to the result). On cancellation it returns
 // (nil, stdctx.Err()) — no partial pattern set.
+//
+// Under a resilience controller, selection is an anytime algorithm: a
+// soft-budget overrun or salvageable cancellation stops the MWU rounds
+// early and returns the patterns selected so far (every completed round
+// leaves a valid, budget-respecting prefix), and a panic inside a round is
+// contained as a stage fault that likewise ends selection with the current
+// prefix. Only explicit user cancellation and validation errors still
+// return an error.
 func SelectCtx(stdctx context.Context, ctx *Context, b Budget, opts Options) (*Result, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
 	opts.defaults()
-	endStage := pipeline.StartStage(stdctx, pipeline.StageSelect)
+	stdctx, endStage := pipeline.Scope(stdctx, pipeline.StageSelect)
 	defer endStage()
 	tr := pipeline.From(stdctx)
+	anytime := resilience.From(stdctx) != nil
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	res := &Result{}
@@ -41,96 +52,140 @@ func SelectCtx(stdctx context.Context, ctx *Context, b Budget, opts Options) (*R
 	var selectedGraphs []*graph.Graph
 	selectedSeen := make(map[string]struct{}) // canonical forms of selected patterns
 
+	stopEarly := func(why string) {
+		resilience.Count(stdctx, "select_rounds", int64(res.Iterations))
+		resilience.Degraded(stdctx, fmt.Sprintf("selection stopped after %d/%d patterns (%s)", len(res.Patterns), b.Gamma, why))
+	}
+
 	for len(res.Patterns) < b.Gamma {
 		if err := stdctx.Err(); err != nil {
+			if cause := context.Cause(stdctx); cause != nil {
+				err = cause
+			}
+			if anytime && resilience.Salvageable(err) {
+				stopEarly("deadline")
+				break
+			}
 			return nil, err
 		}
-		res.Iterations++
-
-		sizes := openSizes(b, sizeCount)
-		if len(sizes) == 0 {
-			res.Exhausted = true
+		if anytime && resilience.Overrun(stdctx) {
+			stopEarly("soft budget")
 			break
 		}
 
-		// Candidate generation: each (CSG, size) proposes one candidate
-		// (the random-walk FCP of Algorithm 4, or the greedy-BFS candidate
-		// under the DaVinci ablation). Candidates isomorphic to an
-		// earlier candidate or to an already-selected pattern are dropped
-		// via canonical forms.
-		type candidate struct {
-			p      *graph.Graph
-			source int
-		}
-		var cands []candidate
-		seen := make(map[string]struct{})
-		for _, ci := range ctx.proposingCSGs(opts.TopCSGs) {
-			c := ctx.CSGs[ci]
-			for _, eta := range sizes {
-				var p *graph.Graph
-				if opts.BFSCandidates {
-					p = ctx.GenerateBFSCandidate(c, eta)
-				} else {
-					var err error
-					p, err = ctx.GenerateFCPCtx(stdctx, c, eta, opts.Walks, rng)
-					if err != nil {
-						return nil, err
+		// One greedy MWU round. It appends at most one pattern and runs
+		// under a panic guard so a poisoned candidate degrades selection to
+		// the prefix built so far instead of crashing the process; roundErr
+		// carries cancellation out of generation/scoring, exhausted marks
+		// true candidate exhaustion.
+		var roundErr error
+		exhausted := false
+		fault := resilience.Guard(stdctx, pipeline.StageSelect, func() {
+			res.Iterations++
+
+			sizes := openSizes(b, sizeCount)
+			if len(sizes) == 0 {
+				exhausted = true
+				return
+			}
+
+			// Candidate generation: each (CSG, size) proposes one candidate
+			// (the random-walk FCP of Algorithm 4, or the greedy-BFS candidate
+			// under the DaVinci ablation). Candidates isomorphic to an
+			// earlier candidate or to an already-selected pattern are dropped
+			// via canonical forms.
+			type candidate struct {
+				p      *graph.Graph
+				source int
+			}
+			var cands []candidate
+			seen := make(map[string]struct{})
+			for _, ci := range ctx.proposingCSGs(opts.TopCSGs) {
+				c := ctx.CSGs[ci]
+				for _, eta := range sizes {
+					var p *graph.Graph
+					if opts.BFSCandidates {
+						p = ctx.GenerateBFSCandidate(c, eta)
+					} else {
+						var err error
+						p, err = ctx.GenerateFCPCtx(stdctx, c, eta, opts.Walks, rng)
+						if err != nil {
+							roundErr = err
+							return
+						}
+					}
+					if p == nil {
+						continue
+					}
+					tr.Add(pipeline.CounterCandidatesGenerated, 1)
+					cf := canon.String(p)
+					if _, dup := seen[cf]; dup {
+						tr.Add(pipeline.CounterCandidatesRejected, 1)
+						continue
+					}
+					if _, dup := selectedSeen[cf]; dup {
+						tr.Add(pipeline.CounterCandidatesRejected, 1)
+						continue
+					}
+					seen[cf] = struct{}{}
+					cands = append(cands, candidate{p, ci})
+				}
+			}
+			if len(cands) == 0 {
+				exhausted = true
+				return
+			}
+
+			// Score and pick the best.
+			best := -1
+			var bestPattern *Pattern
+			for i, c := range cands {
+				score, ccov, lcov, div, cog, err := ctx.scoreWithCtx(stdctx, c.p, selectedGraphs, opts)
+				if err != nil {
+					roundErr = err
+					return
+				}
+				if score <= 0 {
+					continue
+				}
+				if best < 0 || score > bestPattern.Score {
+					best = i
+					bestPattern = &Pattern{
+						Graph: c.p, Score: score,
+						Ccov: ccov, Lcov: lcov, Div: div, Cog: cog,
+						SourceCSG: c.source,
 					}
 				}
-				if p == nil {
-					continue
-				}
-				tr.Add(pipeline.CounterCandidatesGenerated, 1)
-				cf := canon.String(p)
-				if _, dup := seen[cf]; dup {
-					tr.Add(pipeline.CounterCandidatesRejected, 1)
-					continue
-				}
-				if _, dup := selectedSeen[cf]; dup {
-					tr.Add(pipeline.CounterCandidatesRejected, 1)
-					continue
-				}
-				seen[cf] = struct{}{}
-				cands = append(cands, candidate{p, ci})
 			}
-		}
-		if len(cands) == 0 {
-			res.Exhausted = true
+			if best < 0 {
+				exhausted = true
+				return
+			}
+
+			res.Patterns = append(res.Patterns, bestPattern)
+			tr.Add(pipeline.CounterCandidatesAccepted, 1)
+			selectedGraphs = append(selectedGraphs, bestPattern.Graph)
+			selectedSeen[canon.String(bestPattern.Graph)] = struct{}{}
+			sizeCount[bestPattern.Size()]++
+			if err := ctx.updateWeightsCtx(stdctx, bestPattern.Graph); err != nil {
+				roundErr = err
+				return
+			}
+		})
+		if fault != nil {
+			stopEarly("contained panic")
 			break
 		}
-
-		// Score and pick the best.
-		best := -1
-		var bestPattern *Pattern
-		for i, c := range cands {
-			score, ccov, lcov, div, cog, err := ctx.scoreWithCtx(stdctx, c.p, selectedGraphs, opts)
-			if err != nil {
-				return nil, err
+		if roundErr != nil {
+			if anytime && resilience.Salvageable(roundErr) {
+				stopEarly("deadline")
+				break
 			}
-			if score <= 0 {
-				continue
-			}
-			if best < 0 || score > bestPattern.Score {
-				best = i
-				bestPattern = &Pattern{
-					Graph: c.p, Score: score,
-					Ccov: ccov, Lcov: lcov, Div: div, Cog: cog,
-					SourceCSG: c.source,
-				}
-			}
+			return nil, roundErr
 		}
-		if best < 0 {
+		if exhausted {
 			res.Exhausted = true
 			break
-		}
-
-		res.Patterns = append(res.Patterns, bestPattern)
-		tr.Add(pipeline.CounterCandidatesAccepted, 1)
-		selectedGraphs = append(selectedGraphs, bestPattern.Graph)
-		selectedSeen[canon.String(bestPattern.Graph)] = struct{}{}
-		sizeCount[bestPattern.Size()]++
-		if err := ctx.updateWeightsCtx(stdctx, bestPattern.Graph); err != nil {
-			return nil, err
 		}
 	}
 	return res, nil

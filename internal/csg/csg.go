@@ -14,11 +14,13 @@ package csg
 
 import (
 	"context"
+	"fmt"
 	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/pipeline"
+	"repro/internal/resilience"
 )
 
 // IDSet is a set of data-graph indices.
@@ -67,6 +69,14 @@ func Build(db *graph.DB, members []int) *CSG {
 // BuildCtx is Build with cooperative cancellation, checked before each
 // member merge. Every merge is counted as CounterClosureMerges on the
 // context's pipeline tracer.
+//
+// Under a resilience controller, a cancellation classed as salvageable
+// (soft-budget expiry, hard-deadline backstop) after at least one merge
+// returns the partially merged closure instead of an error: the summary
+// covers a prefix of the smallest member graphs, Members still records the
+// full cluster, and the phase is marked degraded with a csg_partial
+// counter. Without a controller the legacy contract holds exactly — any
+// cancellation returns (nil, err).
 func BuildCtx(ctx context.Context, db *graph.DB, members []int) (*CSG, error) {
 	ordered := append([]int(nil), members...)
 	sort.Slice(ordered, func(i, j int) bool {
@@ -78,13 +88,22 @@ func BuildCtx(ctx context.Context, db *graph.DB, members []int) (*CSG, error) {
 	})
 
 	tr := pipeline.From(ctx)
+	anytime := resilience.From(ctx) != nil
 	c := &CSG{
 		G:          graph.New(16, 16),
 		EdgeGraphs: make(map[graph.Edge]IDSet),
 		Members:    append([]int(nil), members...),
 	}
-	for _, m := range ordered {
+	for k, m := range ordered {
 		if err := ctx.Err(); err != nil {
+			if cause := context.Cause(ctx); cause != nil {
+				err = cause
+			}
+			if anytime && k > 0 && resilience.Salvageable(err) {
+				resilience.Count(ctx, "csg_partial", 1)
+				resilience.Degraded(ctx, fmt.Sprintf("closure truncated at %d/%d members", k, len(ordered)))
+				return c, nil
+			}
 			return nil, err
 		}
 		c.merge(db.Graph(m), m)
@@ -231,21 +250,61 @@ func BuildAll(db *graph.DB, clusters [][]int) []*CSG {
 // parallel per-cluster loop stops claiming clusters once ctx is cancelled,
 // in-flight closures abort at their next member merge, and the whole phase
 // is reported as StageCSG. On cancellation it returns (nil, ctx.Err()).
+//
+// Under a resilience controller the phase degrades instead of failing:
+// worker panics are contained per cluster (par.ForCtxRecover) and recorded
+// as stage faults, salvageable cancellations keep whatever summaries were
+// built, and the returned slice marks every faulted or unstarted cluster
+// with a nil entry (counted as csg_skipped) for the caller to filter. Only
+// a non-salvageable abort (explicit user cancel) still returns an error.
 func BuildAllCtx(ctx context.Context, db *graph.DB, clusters [][]int) ([]*CSG, error) {
-	done := pipeline.StartStage(ctx, pipeline.StageCSG)
+	ctx, done := pipeline.Scope(ctx, pipeline.StageCSG)
 	defer done()
 	out := make([]*CSG, len(clusters))
+	ctrl := resilience.From(ctx)
+	if ctrl == nil {
+		errs := make([]error, len(clusters))
+		err := par.ForCtx(ctx, len(clusters), func(i int) {
+			out[i], errs[i] = BuildCtx(ctx, db, clusters[i])
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+		return out, nil
+	}
+
 	errs := make([]error, len(clusters))
-	err := par.ForCtx(ctx, len(clusters), func(i int) {
+	faults, err := par.ForCtxRecover(ctx, len(clusters), func(i int) {
 		out[i], errs[i] = BuildCtx(ctx, db, clusters[i])
 	})
-	if err != nil {
+	for _, f := range faults {
+		ctrl.RecordFault(f)
+	}
+	if err != nil && !resilience.Salvageable(err) {
 		return nil, err
 	}
-	for _, e := range errs {
-		if e != nil {
+	for i, e := range errs {
+		if e != nil && !resilience.Salvageable(e) {
 			return nil, e
 		}
+		if e != nil {
+			out[i] = nil
+		}
+	}
+	var skipped int64
+	for _, c := range out {
+		if c == nil {
+			skipped++
+		}
+	}
+	if skipped > 0 {
+		ctrl.Count("csg_skipped", skipped)
+		ctrl.MarkDegraded(fmt.Sprintf("%d/%d cluster summaries skipped", skipped, len(clusters)))
 	}
 	return out, nil
 }

@@ -1,0 +1,129 @@
+// Package faultinject is a deterministic chaos harness for the pipeline.
+//
+// An Injector is a pipeline.Trace: tee it into a run's context
+// (pipeline.WithTrace / pipeline.Tee) and arm rules keyed on pipeline
+// counters — "panic at the Nth MCCS call", "stall the Mth VF2 batch". The
+// counters are reported from inside the goroutine doing the work (VF2 in
+// cover-engine workers, closure merges in CSG workers, MCS in similarity
+// workers), so an injected panic fires exactly where a poisoned graph
+// would: inside a parallel worker, to be contained by internal/par and
+// internal/resilience.
+//
+// Rules are deterministic — they trigger on cumulative counter totals, not
+// wall clock — so chaos tests are reproducible under -race.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// Panic is the sentinel panic payload an injected fault raises. Tests can
+// assert the contained fault's Value is a *Panic from this harness.
+type Panic struct {
+	Counter pipeline.Counter
+	N       int64
+	Msg     string
+}
+
+func (p *Panic) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at %s #%d: %s", p.Counter, p.N, p.Msg)
+}
+
+type rule struct {
+	counter pipeline.Counter
+	at      int64 // fire when the cumulative total reaches at
+	fired   bool
+	action  func()
+}
+
+// Injector is a Trace that fires armed faults when counter totals cross
+// their thresholds. Safe for concurrent use; each rule fires at most once.
+// The zero value is not usable; call New.
+type Injector struct {
+	mu     sync.Mutex
+	totals map[pipeline.Counter]int64
+	rules  []*rule
+	fired  []string
+}
+
+// New returns an empty Injector.
+func New() *Injector {
+	return &Injector{totals: make(map[pipeline.Counter]int64)}
+}
+
+func (inj *Injector) lock()   { inj.mu.Lock() }
+func (inj *Injector) unlock() { inj.mu.Unlock() }
+
+// PanicAfter arms a rule that panics (with a *Panic payload) inside the
+// goroutine reporting the n-th cumulative increment of c.
+func (inj *Injector) PanicAfter(c pipeline.Counter, n int64, msg string) *Injector {
+	p := &Panic{Counter: c, N: n, Msg: msg}
+	return inj.arm(c, n, fmt.Sprintf("panic@%s#%d", c, n), func() { panic(p) })
+}
+
+// StallAfter arms a rule that blocks the reporting goroutine for d once the
+// cumulative total of c reaches n — simulating a pathological search that
+// blows through its budget.
+func (inj *Injector) StallAfter(c pipeline.Counter, n int64, d time.Duration) *Injector {
+	return inj.arm(c, n, fmt.Sprintf("stall@%s#%d", c, n), func() { time.Sleep(d) })
+}
+
+// Do arms an arbitrary action at the n-th cumulative increment of c. The
+// action runs on the goroutine that reported the counter, outside the
+// injector's lock.
+func (inj *Injector) Do(c pipeline.Counter, n int64, name string, action func()) *Injector {
+	return inj.arm(c, n, name, action)
+}
+
+func (inj *Injector) arm(c pipeline.Counter, n int64, name string, action func()) *Injector {
+	if n < 1 {
+		n = 1
+	}
+	inj.lock()
+	inj.rules = append(inj.rules, &rule{counter: c, at: n, action: func() {
+		inj.lock()
+		inj.fired = append(inj.fired, name)
+		inj.unlock()
+		action()
+	}})
+	inj.unlock()
+	return inj
+}
+
+// Fired returns the names of the rules that have triggered, in firing order.
+func (inj *Injector) Fired() []string {
+	inj.lock()
+	defer inj.unlock()
+	return append([]string(nil), inj.fired...)
+}
+
+// StageStart implements pipeline.Trace.
+func (inj *Injector) StageStart(pipeline.Stage) {}
+
+// StageEnd implements pipeline.Trace.
+func (inj *Injector) StageEnd(pipeline.Stage, time.Duration) {}
+
+// Add implements pipeline.Trace: it accumulates the counter and fires any
+// due rules. Actions run after the lock is released so a panicking or
+// stalling action cannot wedge other goroutines' Add calls; the panic then
+// unwinds the reporting (worker) goroutine exactly like an organic fault.
+func (inj *Injector) Add(c pipeline.Counter, n int64) {
+	inj.lock()
+	total := inj.totals[c] + n
+	inj.totals[c] = total
+	var due []func()
+	for _, r := range inj.rules {
+		if !r.fired && r.counter == c && total >= r.at {
+			r.fired = true
+			due = append(due, r.action)
+		}
+	}
+	inj.unlock()
+	for _, a := range due {
+		a()
+	}
+}

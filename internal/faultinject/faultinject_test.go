@@ -1,0 +1,98 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+func TestPanicAfterFiresOnThreshold(t *testing.T) {
+	inj := New().PanicAfter(pipeline.CounterMCSCalls, 3, "poisoned pair")
+	inj.Add(pipeline.CounterMCSCalls, 1)
+	inj.Add(pipeline.CounterMCSCalls, 1)
+	func() {
+		defer func() {
+			p, ok := recover().(*Panic)
+			if !ok {
+				t.Fatal("third Add did not panic with *Panic")
+			}
+			if p.Counter != pipeline.CounterMCSCalls || p.N != 3 {
+				t.Errorf("panic payload = %+v", p)
+			}
+		}()
+		inj.Add(pipeline.CounterMCSCalls, 1)
+		t.Error("Add returned, want injected panic")
+	}()
+	if got := inj.Fired(); len(got) != 1 {
+		t.Errorf("Fired() = %v, want one entry", got)
+	}
+	// Fire-once: later increments must not re-panic.
+	inj.Add(pipeline.CounterMCSCalls, 10)
+}
+
+func TestThresholdCrossedByBatchDelta(t *testing.T) {
+	inj := New().PanicAfter(pipeline.CounterVF2Calls, 5, "x")
+	fired := false
+	func() {
+		defer func() { fired = recover() != nil }()
+		inj.Add(pipeline.CounterVF2Calls, 50) // one batched delta jumps past 5
+	}()
+	if !fired {
+		t.Error("batched delta crossing the threshold did not fire")
+	}
+}
+
+func TestOtherCountersUnaffected(t *testing.T) {
+	inj := New().PanicAfter(pipeline.CounterGEDCalls, 1, "x")
+	inj.Add(pipeline.CounterVF2Calls, 100)
+	inj.Add(pipeline.CounterWalks, 100)
+	if got := inj.Fired(); len(got) != 0 {
+		t.Errorf("Fired() = %v, want none", got)
+	}
+}
+
+func TestStallAfterBlocksReportingGoroutine(t *testing.T) {
+	const d = 30 * time.Millisecond
+	inj := New().StallAfter(pipeline.CounterWalks, 1, d)
+	start := time.Now()
+	inj.Add(pipeline.CounterWalks, 1)
+	if elapsed := time.Since(start); elapsed < d {
+		t.Errorf("Add returned after %v, want >= %v stall", elapsed, d)
+	}
+}
+
+func TestStallDoesNotWedgeConcurrentAdds(t *testing.T) {
+	inj := New().StallAfter(pipeline.CounterWalks, 1, 50*time.Millisecond)
+	go inj.Add(pipeline.CounterWalks, 1) // stalls its goroutine
+	time.Sleep(5 * time.Millisecond)     // let the stall begin
+	done := make(chan struct{})
+	go func() {
+		inj.Add(pipeline.CounterVF2Calls, 1) // must not block on the stalled rule
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(40 * time.Millisecond):
+		t.Fatal("concurrent Add blocked behind a stalled rule action")
+	}
+}
+
+func TestConcurrentAddsRaceFree(t *testing.T) {
+	inj := New().Do(pipeline.CounterVF2Calls, 500, "mark", func() {})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				inj.Add(pipeline.CounterVF2Calls, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := inj.Fired(); len(got) != 1 || got[0] != "mark" {
+		t.Errorf("Fired() = %v, want [mark]", got)
+	}
+}

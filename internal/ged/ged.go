@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/pipeline"
+	"repro/internal/resilience"
 )
 
 // LowerBound returns GEDl(a, b) per Definition 5.1:
@@ -110,6 +111,13 @@ func MinDistance(p *graph.Graph, ps []*graph.Graph) (minDist, fullComputations i
 // MinDistanceCtx is MinDistance with cooperative cancellation, checked
 // before each full GED computation in the pruned loop. Full computations
 // are counted on the context's pipeline tracer (CounterGEDCalls).
+//
+// Under a resilience controller whose selection soft budget is running out
+// (resilience.GEDApprox), each Distance call is downgraded from the
+// exact-A*-with-fallback entry point to the bipartite approximation
+// directly — the paper's own diversity measure [32] — trading tightness for
+// bounded per-call cost; downgrades are tallied as the ged_approx health
+// counter.
 func MinDistanceCtx(ctx context.Context, p *graph.Graph, ps []*graph.Graph) (minDist, fullComputations int, err error) {
 	if len(ps) == 0 {
 		return 0, 0, nil
@@ -135,7 +143,13 @@ func MinDistanceCtx(ctx context.Context, p *graph.Graph, ps []*graph.Graph) (min
 				return 0, n, cerr
 			}
 		}
-		d := Distance(p, c.g)
+		var d int
+		if resilience.GEDApprox(ctx) {
+			d = Approx(p, c.g)
+			resilience.Count(ctx, "ged_approx", 1)
+		} else {
+			d = Distance(p, c.g)
+		}
 		n++
 		tr.Add(pipeline.CounterGEDCalls, 1)
 		if best < 0 || d < best {

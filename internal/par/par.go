@@ -7,14 +7,21 @@ package par
 import (
 	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/pipeline"
+	"repro/internal/resilience"
 )
 
 // For runs fn(i) for every i in [0, n), using up to GOMAXPROCS workers.
 // fn may write only to per-index state. If fn panics in a worker, the panic
 // is recovered there and re-raised on the caller's goroutine after every
-// worker has exited — identical to the inline (single-worker) behavior.
+// worker has exited — identical to the inline (single-worker) behavior. The
+// re-raised value is a *resilience.StageFault wrapping the original panic
+// value with the active pipeline stage, the worker and item index, and the
+// panicking goroutine's stack.
 // For n <= 1 or a single-CPU process the loop runs inline to avoid
 // goroutine overhead.
 func For(n int, fn func(i int)) {
@@ -23,46 +30,82 @@ func For(n int, fn func(i int)) {
 	_ = ForCtx(context.Background(), n, fn)
 }
 
+// cause explains why the loop was cut short: context.Cause distinguishes a
+// deadline (context.DeadlineExceeded / resilience.ErrBudgetExhausted), an
+// explicit cancel, and a fault-induced abort (a *resilience.StageFault
+// installed as cancellation cause) where plain ctx.Err() collapses all
+// three into context.Canceled.
+func cause(ctx context.Context) error {
+	if err := context.Cause(ctx); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
 // ForCtx is For with cooperative cancellation: workers stop claiming new
 // indices once ctx is cancelled, already-started fn calls run to
 // completion, and every worker has exited before ForCtx returns (no leaked
-// goroutines). It returns nil when every index was processed and ctx.Err()
-// when the loop was cut short. Panics in fn are recovered in the worker and
-// re-raised on the caller's goroutine.
+// goroutines). It returns nil when every index was processed and the
+// cancellation cause (context.Cause, falling back to ctx.Err) when the loop
+// was cut short. Panics in fn are recovered in the worker, wrapped in a
+// *resilience.StageFault, and re-raised on the caller's goroutine.
 func ForCtx(ctx context.Context, n int, fn func(i int)) error {
+	faults, err := run(ctx, n, fn, false)
+	if len(faults) > 0 {
+		panic(faults[0])
+	}
+	return err
+}
+
+// ForCtxRecover is ForCtx with fault containment: a panic in fn(i) is
+// recovered and recorded as a *resilience.StageFault for index i while the
+// remaining indices continue to be processed (the legacy paths re-raise the
+// first panic and abandon the rest). The caller decides how to degrade the
+// faulted indices. err carries the cancellation cause when the loop was cut
+// short, independently of whether faults occurred.
+func ForCtxRecover(ctx context.Context, n int, fn func(i int)) (faults []*resilience.StageFault, err error) {
+	return run(ctx, n, fn, true)
+}
+
+func run(ctx context.Context, n int, fn func(i int), contain bool) ([]*resilience.StageFault, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	stage := pipeline.CurrentStage(ctx)
 	done := ctx.Done()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		var faults []*resilience.StageFault
 		for i := 0; i < n; i++ {
 			if done != nil {
 				select {
 				case <-done:
-					return ctx.Err()
+					return faults, cause(ctx)
 				default:
 				}
 			}
-			fn(i)
+			f := protect(stage, 0, i, fn, contain)
+			if f != nil {
+				faults = append(faults, f)
+				continue
+			}
 		}
-		return nil
+		return faults, nil
 	}
 
 	var (
 		next      int64 = -1
 		processed int64
 		wg        sync.WaitGroup
-		panicMu   sync.Mutex
-		panicked  bool
-		panicVal  interface{}
+		mu        sync.Mutex
+		faults    []*resilience.StageFault
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				if done != nil {
@@ -72,39 +115,53 @@ func ForCtx(ctx context.Context, n int, fn func(i int)) error {
 					default:
 					}
 				}
-				panicMu.Lock()
-				stop := panicked
-				panicMu.Unlock()
-				if stop {
-					return
+				if !contain {
+					mu.Lock()
+					stop := len(faults) > 0
+					mu.Unlock()
+					if stop {
+						return
+					}
 				}
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
 				}
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							panicMu.Lock()
-							if !panicked {
-								panicked = true
-								panicVal = r
-							}
-							panicMu.Unlock()
-						}
-					}()
-					fn(i)
-					atomic.AddInt64(&processed, 1)
-				}()
+				f := protect(stage, worker, i, fn, true)
+				if f != nil {
+					mu.Lock()
+					faults = append(faults, f)
+					mu.Unlock()
+					continue
+				}
+				atomic.AddInt64(&processed, 1)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-	if panicked {
-		panic(panicVal)
+	if !contain {
+		if len(faults) > 0 {
+			return faults[:1], nil
+		}
 	}
-	if atomic.LoadInt64(&processed) != int64(n) {
-		return ctx.Err()
+	if atomic.LoadInt64(&processed)+int64(len(faults)) != int64(n) {
+		return faults, cause(ctx)
 	}
+	return faults, nil
+}
+
+// protect runs fn(i), converting a panic into a *resilience.StageFault
+// (capturing the stack on the panicking goroutine). When contain is false
+// the inline path re-raises immediately, matching single-worker semantics.
+func protect(stage pipeline.Stage, worker, i int, fn func(i int), contain bool) (fault *resilience.StageFault) {
+	defer func() {
+		if r := recover(); r != nil {
+			fault = resilience.NewFault(stage, worker, i, r, debug.Stack())
+			if !contain {
+				panic(fault)
+			}
+		}
+	}()
+	fn(i)
 	return nil
 }

@@ -7,6 +7,9 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/pipeline"
+	"repro/internal/resilience"
 )
 
 func TestForVisitsEveryIndexOnce(t *testing.T) {
@@ -127,9 +130,18 @@ func TestForRepanicsWorkerPanicOnCaller(t *testing.T) {
 	old := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(old)
 	defer func() {
-		r := recover()
-		if r != "boom-42" {
-			t.Errorf("recovered %v, want boom-42", r)
+		f, ok := recover().(*resilience.StageFault)
+		if !ok {
+			t.Fatalf("recovered value is not a *resilience.StageFault")
+		}
+		if f.Value != "boom-42" {
+			t.Errorf("fault value %v, want boom-42", f.Value)
+		}
+		if f.Item != 42 {
+			t.Errorf("fault item %d, want 42", f.Item)
+		}
+		if len(f.Stack) == 0 {
+			t.Error("fault carries no stack")
 		}
 	}()
 	For(500, func(i int) {
@@ -144,8 +156,15 @@ func TestForRepanicsInlinePath(t *testing.T) {
 	old := runtime.GOMAXPROCS(1)
 	defer runtime.GOMAXPROCS(old)
 	defer func() {
-		if r := recover(); r != "inline-boom" {
-			t.Errorf("recovered %v, want inline-boom", r)
+		f, ok := recover().(*resilience.StageFault)
+		if !ok {
+			t.Fatalf("recovered value is not a *resilience.StageFault")
+		}
+		if f.Value != "inline-boom" {
+			t.Errorf("fault value %v, want inline-boom", f.Value)
+		}
+		if f.Item != 3 {
+			t.Errorf("fault item %d, want 3", f.Item)
 		}
 	}()
 	For(10, func(i int) {
@@ -154,6 +173,100 @@ func TestForRepanicsInlinePath(t *testing.T) {
 		}
 	})
 	t.Error("For returned instead of panicking")
+}
+
+func TestForCtxPanicCarriesStage(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	ctx := pipeline.WithStage(context.Background(), pipeline.StageCSG)
+	defer func() {
+		f, ok := recover().(*resilience.StageFault)
+		if !ok {
+			t.Fatalf("recovered value is not a *resilience.StageFault")
+		}
+		if f.Stage != pipeline.StageCSG {
+			t.Errorf("fault stage %q, want %q", f.Stage, pipeline.StageCSG)
+		}
+	}()
+	_ = ForCtx(ctx, 100, func(i int) {
+		if i == 9 {
+			panic("stage-tagged")
+		}
+	})
+	t.Error("ForCtx returned instead of panicking")
+}
+
+func TestForCtxRecoverContainsFaultsAndContinues(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		const n = 200
+		counts := make([]int64, n)
+		faults, err := ForCtxRecover(context.Background(), n, func(i int) {
+			if i == 13 || i == 77 {
+				panic(i)
+			}
+			atomic.AddInt64(&counts[i], 1)
+		})
+		runtime.GOMAXPROCS(old)
+		if err != nil {
+			t.Fatalf("procs=%d: ForCtxRecover err = %v", procs, err)
+		}
+		if len(faults) != 2 {
+			t.Fatalf("procs=%d: got %d faults, want 2", procs, len(faults))
+		}
+		faulted := map[int]bool{}
+		for _, f := range faults {
+			faulted[f.Item] = true
+		}
+		if !faulted[13] || !faulted[77] {
+			t.Errorf("procs=%d: faults at %v, want items 13 and 77", procs, faulted)
+		}
+		for i, c := range counts {
+			want := int64(1)
+			if i == 13 || i == 77 {
+				want = 0
+			}
+			if c != want {
+				t.Errorf("procs=%d: index %d processed %d times, want %d", procs, i, c, want)
+			}
+		}
+	}
+}
+
+func TestForCtxRecoverHonorsCancellation(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int64
+	faults, err := ForCtxRecover(ctx, 100000, func(i int) {
+		if atomic.AddInt64(&ran, 1) == 8 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForCtxRecover = %v, want context.Canceled", err)
+	}
+	if len(faults) != 0 {
+		t.Errorf("unexpected faults: %v", faults)
+	}
+}
+
+func TestForCtxReturnsCancellationCause(t *testing.T) {
+	sentinel := errors.New("poisoned batch")
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		ctx, cancel := context.WithCancelCause(context.Background())
+		var ran int64
+		err := ForCtx(ctx, 100000, func(i int) {
+			if atomic.AddInt64(&ran, 1) == 8 {
+				cancel(sentinel)
+			}
+		})
+		runtime.GOMAXPROCS(old)
+		if !errors.Is(err, sentinel) {
+			t.Errorf("procs=%d: ForCtx = %v, want cause %v", procs, err, sentinel)
+		}
+	}
 }
 
 func TestForCtxRepanicsWorkerPanic(t *testing.T) {

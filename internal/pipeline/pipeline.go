@@ -157,6 +157,37 @@ func From(ctx context.Context) Trace {
 	return Nop
 }
 
+type stageKey struct{}
+
+// WithStage returns a context recording s as the innermost active stage.
+// Stage entry points install it so downstream helpers (fault containment in
+// internal/par, degradation counters) can attribute work to a stage without
+// threading a name through every call.
+func WithStage(ctx context.Context, s Stage) context.Context {
+	return context.WithValue(ctx, stageKey{}, s)
+}
+
+// CurrentStage returns the innermost active stage recorded on ctx, or ""
+// when none is. Nil-safe.
+func CurrentStage(ctx context.Context) Stage {
+	if ctx == nil {
+		return ""
+	}
+	s, _ := ctx.Value(stageKey{}).(Stage)
+	return s
+}
+
+// Scope combines WithStage and StartStage: it marks s as the innermost
+// active stage on the returned context and emits StageStart, returning the
+// idempotent end function.
+//
+//	ctx, done := pipeline.Scope(ctx, pipeline.StageFine)
+//	defer done()
+func Scope(ctx context.Context, s Stage) (context.Context, func()) {
+	ctx = WithStage(ctx, s)
+	return ctx, StartStage(ctx, s)
+}
+
 // StartStage emits StageStart on ctx's tracer and returns the matching end
 // function. The intended use is
 //

@@ -2,6 +2,7 @@ package catapult
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -9,6 +10,18 @@ import (
 	"repro/internal/core"
 	"repro/internal/csg"
 	"repro/internal/graph"
+)
+
+// ErrRetryNotDue is returned by RetryCtx when a failed refresh is queued but
+// its backoff window has not elapsed yet.
+var ErrRetryNotDue = errors.New("catapult: queued refresh not due yet")
+
+// Backoff bounds for failed incremental refreshes: the first retry is
+// allowed after retryBaseDelay, doubling per consecutive failure up to
+// retryMaxDelay.
+const (
+	retryBaseDelay = 100 * time.Millisecond
+	retryMaxDelay  = 30 * time.Second
 )
 
 // Maintainer supports incremental maintenance of canned patterns as the
@@ -20,12 +33,27 @@ import (
 // and pattern selection — the cheap phase relative to clustering — is
 // rerun. Full reclustering happens only when a cluster outgrows the fine
 // clustering bound N.
+//
+// Updates are transactional: AddGraphsCtx builds the new database,
+// clustering, summaries and pattern set on copies and swaps them in only
+// when every step succeeded. A failed or cancelled refresh therefore never
+// leaves a partially-updated clusters/csgs/patterns triple — the maintainer
+// keeps serving the last-good pattern set, the failed batch is queued, and
+// RetryCtx retries it under capped exponential backoff.
 type Maintainer struct {
 	cfg      Config
 	db       *graph.DB
 	clusters [][]int
 	csgs     []*csg.CSG
 	patterns []*core.Pattern
+
+	// Retry state for failed refreshes.
+	pending   []*graph.Graph
+	failures  int
+	nextRetry time.Time
+	lastErr   error
+
+	now func() time.Time // injectable for backoff tests
 }
 
 // NewMaintainer runs the full pipeline once and returns a maintainer that
@@ -47,10 +75,12 @@ func NewMaintainerCtx(stdctx context.Context, db *graph.DB, cfg Config) (*Mainta
 		clusters: res.Clusters,
 		csgs:     res.CSGs,
 		patterns: res.Patterns,
+		now:      time.Now,
 	}, nil
 }
 
-// Patterns returns the current canned pattern set.
+// Patterns returns the current canned pattern set — always the last-good
+// set, even after failed refreshes.
 func (m *Maintainer) Patterns() []*core.Pattern { return m.patterns }
 
 // DB returns the maintainer's current database.
@@ -58,6 +88,16 @@ func (m *Maintainer) DB() *graph.DB { return m.db }
 
 // NumClusters returns the current cluster count.
 func (m *Maintainer) NumClusters() int { return len(m.clusters) }
+
+// Pending returns the number of graphs queued from failed refreshes.
+func (m *Maintainer) Pending() int { return len(m.pending) }
+
+// NextRetry returns when the queued refresh becomes due (zero when nothing
+// is queued).
+func (m *Maintainer) NextRetry() time.Time { return m.nextRetry }
+
+// LastErr returns the error of the most recent failed refresh, or nil.
+func (m *Maintainer) LastErr() error { return m.lastErr }
 
 // AddGraphs inserts new data graphs, updates clustering and CSGs
 // incrementally and reselects patterns. It returns the pattern-selection
@@ -68,22 +108,80 @@ func (m *Maintainer) AddGraphs(gs []*graph.Graph) (time.Duration, error) {
 
 // AddGraphsCtx is AddGraphs with cooperative cancellation: fine splitting,
 // CSG rebuilds and pattern reselection all check stdctx at their iteration
-// boundaries. On cancellation the maintainer's pattern set and summaries
-// may be partially rebuilt; rerun AddGraphsCtx(ctx, nil) semantics do not
-// apply — callers should discard the maintainer on error.
+// boundaries.
+//
+// The update is transactional. On any failure — cancellation included — the
+// maintainer's database, clusters, summaries and pattern set are untouched
+// and keep serving queries; the batch (together with any earlier queued
+// batch) is parked on the retry queue with capped exponential backoff. An
+// explicit AddGraphsCtx call always attempts immediately, folding in the
+// queued batch; RetryCtx honors the backoff window.
 func (m *Maintainer) AddGraphsCtx(stdctx context.Context, gs []*graph.Graph) (time.Duration, error) {
-	if len(gs) == 0 {
+	if len(gs) == 0 && len(m.pending) == 0 {
 		return 0, nil
 	}
+	batch := append(append([]*graph.Graph(nil), m.pending...), gs...)
+	pgt, err := m.tryRefresh(stdctx, batch)
+	if err != nil {
+		m.queueFailed(batch, err)
+		return 0, err
+	}
+	m.clearRetryState()
+	return pgt, nil
+}
+
+// RetryCtx retries the queued batch from earlier failed refreshes. It
+// returns ErrRetryNotDue while the backoff window is still open, (0, nil)
+// when nothing is queued, and otherwise behaves like AddGraphsCtx of the
+// queued batch.
+func (m *Maintainer) RetryCtx(stdctx context.Context) (time.Duration, error) {
+	if len(m.pending) == 0 {
+		return 0, nil
+	}
+	if m.now().Before(m.nextRetry) {
+		return 0, ErrRetryNotDue
+	}
+	return m.AddGraphsCtx(stdctx, nil)
+}
+
+func (m *Maintainer) queueFailed(batch []*graph.Graph, err error) {
+	m.pending = batch
+	m.failures++
+	m.lastErr = err
+	delay := retryBaseDelay << (m.failures - 1)
+	if m.failures > 20 || delay > retryMaxDelay || delay <= 0 {
+		delay = retryMaxDelay
+	}
+	m.nextRetry = m.now().Add(delay)
+}
+
+func (m *Maintainer) clearRetryState() {
+	m.pending = nil
+	m.failures = 0
+	m.nextRetry = time.Time{}
+	m.lastErr = nil
+}
+
+// tryRefresh computes the post-insert state on copies and swaps it into the
+// maintainer only when every step succeeded.
+func (m *Maintainer) tryRefresh(stdctx context.Context, gs []*graph.Graph) (time.Duration, error) {
 	base := m.db.Len()
 	all := append(append([]*graph.Graph(nil), m.db.Graphs...), gs...)
-	m.db = graph.NewDB(m.db.Name, all)
+	db := graph.NewDB(m.db.Name, all)
 
+	// Assign each new graph to its best cluster, on a copied cluster list
+	// (inner slices copied on first write).
+	clusters := append([][]int(nil), m.clusters...)
+	copied := make(map[int]bool)
 	dirty := make(map[int]bool)
 	for i := range gs {
 		gi := base + i
-		ci := m.bestCluster(m.db.Graph(gi))
-		m.clusters[ci] = append(m.clusters[ci], gi)
+		ci := bestCluster(m.csgs, db.Graph(gi))
+		if !copied[ci] {
+			clusters[ci] = append([]int(nil), clusters[ci]...)
+			copied[ci] = true
+		}
+		clusters[ci] = append(clusters[ci], gi)
 		dirty[ci] = true
 	}
 
@@ -93,21 +191,22 @@ func (m *Maintainer) AddGraphsCtx(stdctx context.Context, gs []*graph.Graph) (ti
 	if n <= 0 {
 		n = 20
 	}
-	var rebuilt [][]int
 	var toSplit []*cluster.Cluster
 	splitFrom := make(map[int]bool)
-	for ci, members := range m.clusters {
+	for ci, members := range clusters {
 		if len(members) > n && dirty[ci] {
 			toSplit = append(toSplit, &cluster.Cluster{Members: members})
 			splitFrom[ci] = true
 		}
 	}
+	csgs := append([]*csg.CSG(nil), m.csgs...)
 	if len(toSplit) > 0 {
-		split, err := cluster.FineCtx(stdctx, m.db, toSplit, m.cfg.Clustering)
+		split, err := cluster.FineCtx(stdctx, db, toSplit, m.cfg.Clustering)
 		if err != nil {
 			return 0, err
 		}
-		for ci, members := range m.clusters {
+		var rebuilt [][]int
+		for ci, members := range clusters {
 			if !splitFrom[ci] {
 				rebuilt = append(rebuilt, members)
 			}
@@ -115,27 +214,26 @@ func (m *Maintainer) AddGraphsCtx(stdctx context.Context, gs []*graph.Graph) (ti
 		for _, c := range split {
 			rebuilt = append(rebuilt, c.Members)
 		}
-		m.clusters = rebuilt
+		clusters = rebuilt
 		// Splits invalidate cluster indexing; rebuild every CSG that
 		// changed membership. Conservatively rebuild all (still far
 		// cheaper than reclustering from scratch).
-		csgs, err := csg.BuildAllCtx(stdctx, m.db, m.clusters)
+		csgs, err = csg.BuildAllCtx(stdctx, db, clusters)
 		if err != nil {
 			return 0, err
 		}
-		m.csgs = csgs
 	} else {
 		for ci := range dirty {
-			c, err := csg.BuildCtx(stdctx, m.db, m.clusters[ci])
+			c, err := csg.BuildCtx(stdctx, db, clusters[ci])
 			if err != nil {
 				return 0, err
 			}
-			m.csgs[ci] = c
+			csgs[ci] = c
 		}
 	}
 
 	start := time.Now()
-	ctx := core.NewContext(m.db, m.csgs)
+	ctx := core.NewContext(db, csgs)
 	if m.cfg.DisableCoverEngine {
 		ctx.DisableCoverEngine()
 	}
@@ -143,6 +241,11 @@ func (m *Maintainer) AddGraphsCtx(stdctx context.Context, gs []*graph.Graph) (ti
 	if err != nil {
 		return 0, fmt.Errorf("catapult: reselect after insert: %w", err)
 	}
+
+	// Commit: every step succeeded, swap the new state in atomically.
+	m.db = db
+	m.clusters = clusters
+	m.csgs = csgs
 	m.patterns = sel.Patterns
 	return time.Since(start), nil
 }
@@ -150,13 +253,13 @@ func (m *Maintainer) AddGraphsCtx(stdctx context.Context, gs []*graph.Graph) (ti
 // bestCluster picks the cluster whose CSG shares the most edge-label mass
 // with g: Σ over g's distinct edge labels of the label's support within
 // the CSG, normalized by cluster size.
-func (m *Maintainer) bestCluster(g *graph.Graph) int {
+func bestCluster(csgs []*csg.CSG, g *graph.Graph) int {
 	glabels := make(map[string]struct{})
 	for _, e := range g.Edges() {
 		glabels[g.EdgeLabel(e.U, e.V)] = struct{}{}
 	}
 	best, bestScore := 0, -1.0
-	for ci, c := range m.csgs {
+	for ci, c := range csgs {
 		score := 0.0
 		for e, ids := range c.EdgeGraphs {
 			l := c.G.EdgeLabel(e.U, e.V)

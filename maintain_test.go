@@ -1,0 +1,175 @@
+package catapult
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func testMaintainer(t *testing.T) *Maintainer {
+	t.Helper()
+	db := dataset.AIDSLike(30, 15)
+	m, err := NewMaintainer(db, Config{
+		Budget:     core.Budget{EtaMin: 3, EtaMax: 5, Gamma: 5},
+		Clustering: cluster.Config{Strategy: cluster.HybridMCCS, N: 8, MinSupport: 0.2},
+		Seed:       17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// A failed insert must leave the db/clusters/csgs/patterns quadruple exactly
+// as it was: the maintainer keeps serving the last-good pattern set and the
+// batch lands on the retry queue.
+func TestMaintainerTransactionalRollback(t *testing.T) {
+	m := testMaintainer(t)
+
+	dbBefore := m.db
+	patternsBefore := m.patterns
+	csgsSnap := m.csgs
+	clustersBefore := make([][]int, len(m.clusters))
+	for i, c := range m.clusters {
+		clustersBefore[i] = append([]int(nil), c...)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	extra := dataset.AIDSLike(5, 99)
+	if _, err := m.AddGraphsCtx(cancelled, extra.Graphs); err == nil {
+		t.Fatal("insert under cancelled context succeeded, want error")
+	}
+
+	if m.db != dbBefore {
+		t.Error("db swapped despite failed insert")
+	}
+	if len(m.patterns) != len(patternsBefore) {
+		t.Fatalf("pattern count changed: %d -> %d", len(patternsBefore), len(m.patterns))
+	}
+	for i := range m.patterns {
+		if m.patterns[i] != patternsBefore[i] {
+			t.Errorf("pattern %d replaced despite failed insert", i)
+		}
+	}
+	if len(m.clusters) != len(clustersBefore) {
+		t.Fatalf("cluster count changed: %d -> %d", len(clustersBefore), len(m.clusters))
+	}
+	for i := range m.clusters {
+		if len(m.clusters[i]) != len(clustersBefore[i]) {
+			t.Errorf("cluster %d membership changed", i)
+			continue
+		}
+		for j := range m.clusters[i] {
+			if m.clusters[i][j] != clustersBefore[i][j] {
+				t.Errorf("cluster %d member %d changed", i, j)
+			}
+		}
+	}
+	for i := range m.csgs {
+		if m.csgs[i] != csgsSnap[i] {
+			t.Errorf("csg %d replaced despite failed insert", i)
+		}
+	}
+
+	if m.Pending() != 5 {
+		t.Errorf("Pending() = %d, want 5", m.Pending())
+	}
+	if m.LastErr() == nil {
+		t.Error("LastErr() nil after failed insert")
+	}
+	if m.NextRetry().IsZero() {
+		t.Error("NextRetry() zero after failed insert")
+	}
+
+	// The queued batch is folded into the next successful refresh.
+	if _, err := m.AddGraphsCtx(context.Background(), nil); err != nil {
+		t.Fatalf("retrying queued batch: %v", err)
+	}
+	if m.DB().Len() != 35 {
+		t.Errorf("db size after recovery = %d, want 35", m.DB().Len())
+	}
+	if m.Pending() != 0 || m.LastErr() != nil || !m.NextRetry().IsZero() {
+		t.Errorf("retry state not cleared: pending=%d lastErr=%v nextRetry=%v",
+			m.Pending(), m.LastErr(), m.NextRetry())
+	}
+	if len(m.Patterns()) == 0 {
+		t.Error("patterns lost after recovered insert")
+	}
+}
+
+// Consecutive failures double the backoff delay up to the cap, RetryCtx
+// refuses to run inside the window, and a successful retry resets the state.
+func TestMaintainerRetryBackoff(t *testing.T) {
+	m := testMaintainer(t)
+	cur := time.Unix(1000, 0)
+	m.now = func() time.Time { return cur }
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	extra := dataset.AIDSLike(5, 99)
+
+	if _, err := m.AddGraphsCtx(cancelled, extra.Graphs); err == nil {
+		t.Fatal("want failure under cancelled context")
+	}
+	if got, want := m.NextRetry().Sub(cur), retryBaseDelay; got != want {
+		t.Errorf("first backoff = %v, want %v", got, want)
+	}
+
+	// Not due yet: RetryCtx must refuse without touching state.
+	if _, err := m.RetryCtx(context.Background()); !errors.Is(err, ErrRetryNotDue) {
+		t.Fatalf("RetryCtx inside window: err = %v, want ErrRetryNotDue", err)
+	}
+	if m.Pending() != 5 {
+		t.Errorf("Pending() = %d after refused retry, want 5", m.Pending())
+	}
+
+	// Due, but the retry itself fails again: delay doubles and the batch is
+	// not duplicated.
+	cur = cur.Add(retryBaseDelay)
+	if _, err := m.RetryCtx(cancelled); err == nil {
+		t.Fatal("want failure on retry under cancelled context")
+	}
+	if got, want := m.NextRetry().Sub(cur), 2*retryBaseDelay; got != want {
+		t.Errorf("second backoff = %v, want %v", got, want)
+	}
+	if m.Pending() != 5 {
+		t.Errorf("Pending() = %d after failed retry, want 5 (batch duplicated?)", m.Pending())
+	}
+
+	// Due again, valid context: the refresh lands.
+	cur = cur.Add(2 * retryBaseDelay)
+	if _, err := m.RetryCtx(context.Background()); err != nil {
+		t.Fatalf("due retry failed: %v", err)
+	}
+	if m.DB().Len() != 35 {
+		t.Errorf("db size after retry = %d, want 35", m.DB().Len())
+	}
+	if m.Pending() != 0 || m.failures != 0 {
+		t.Errorf("retry state not reset: pending=%d failures=%d", m.Pending(), m.failures)
+	}
+}
+
+func TestMaintainerBackoffCapped(t *testing.T) {
+	m := testMaintainer(t)
+	cur := time.Unix(2000, 0)
+	m.now = func() time.Time { return cur }
+
+	// Simulate many consecutive failures; the delay must never exceed the
+	// cap and must never overflow into a non-positive duration.
+	for i := 0; i < 40; i++ {
+		m.queueFailed(nil, context.Canceled)
+		d := m.NextRetry().Sub(cur)
+		if d <= 0 || d > retryMaxDelay {
+			t.Fatalf("failure %d: backoff %v out of (0, %v]", i+1, d, retryMaxDelay)
+		}
+	}
+	if got := m.NextRetry().Sub(cur); got != retryMaxDelay {
+		t.Errorf("backoff after 40 failures = %v, want cap %v", got, retryMaxDelay)
+	}
+}

@@ -1,11 +1,16 @@
 package catapult
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/pipeline"
 )
 
 // Tests for the two-level sampling pipeline paths in clusterWithSampling.
@@ -72,5 +77,90 @@ func TestSamplingPathEffectiveSizesInflated(t *testing.T) {
 	// database mass.
 	if effTotal < float64(db.Len())*0.9 || effTotal > float64(db.Len())*1.1 {
 		t.Errorf("effective size total %v far from |D| = %d", effTotal, db.Len())
+	}
+}
+
+// samplingConfig engages both sampling levels on AIDSLike(80, ...): the
+// eager sample (~67) is below |D| = 80 and the Cochran size (~11) shrinks
+// clusters.
+func samplingConfig() Config {
+	s := DefaultSampling()
+	s.Epsilon = 0.15
+	s.Rho = 0.1
+	s.E = 0.25
+	return Config{
+		Budget:     core.Budget{EtaMin: 3, EtaMax: 4, Gamma: 3},
+		Clustering: cluster.Config{Strategy: cluster.HybridMCCS, N: 10, MinSupport: 0.15},
+		Sampling:   s,
+		Seed:       57,
+	}
+}
+
+// Mid-stage cancellation through the two-level sampling path: cancelling
+// while the eager-sample mining, the lazy shrinking or the subsequent fine
+// split is running must abort the whole run with the cancellation error, no
+// partial result and no leaked workers — mirroring the cluster/CSG/select
+// cancellation tests of the unsampled path.
+func TestSamplingPathCancelMidStage(t *testing.T) {
+	db := dataset.AIDSLike(80, 55)
+	for _, stage := range []pipeline.Stage{
+		pipeline.StageEagerSample, pipeline.StageLazySample, pipeline.StageFine,
+	} {
+		t.Run(string(stage), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			ctx = pipeline.WithTrace(ctx, &cancelOnStage{stage: stage, cancel: cancel})
+
+			res, err := SelectCtx(ctx, db, samplingConfig())
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if res != nil {
+				t.Errorf("cancelled run returned a partial result: %+v", res)
+			}
+			for i := 0; ; i++ {
+				if runtime.NumGoroutine() <= before {
+					break
+				}
+				if i > 100 {
+					t.Fatalf("goroutines leaked: %d -> %d", before, runtime.NumGoroutine())
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// A deadline striking mid-sampling must surface as a clean
+// context.DeadlineExceeded. The deadline is simulated deterministically by
+// cancelling with a DeadlineExceeded cause when the lazy-sampling stage
+// starts — the stages propagate context.Cause, so the caller sees the
+// deadline error rather than a bare Canceled.
+func TestSamplingPathDeadlineCausePropagates(t *testing.T) {
+	db := dataset.AIDSLike(80, 55)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	ctx = pipeline.WithTrace(ctx, &cancelOnStage{
+		stage:  pipeline.StageLazySample,
+		cancel: func() { cancel(context.DeadlineExceeded) },
+	})
+
+	res, err := SelectCtx(ctx, db, samplingConfig())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res != nil {
+		t.Errorf("timed-out run returned a partial result: %+v", res)
+	}
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("goroutines leaked: %d -> %d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
