@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci build vet fmt test race diff-race chaos bench bench-gate bench-gate-cluster bench-gate-resilience
+.PHONY: check ci build vet fmt test race diff-race chaos api-lock bench bench-gate bench-gate-cluster bench-gate-resilience
 
 # check is the CI gate: vet, formatting, and the full test suite under the
 # race detector.
@@ -8,9 +8,17 @@ check: vet fmt race
 
 # ci extends check with the differential suites pinned explicitly under the
 # race detector — the bit-identity proofs for the coverage engine
-# (internal/cover) and the similarity engine (internal/simcache) — and the
-# fault-injection chaos suite for the resilience layer.
-ci: check diff-race chaos
+# (internal/cover) and the similarity engine (internal/simcache) — the
+# fault-injection chaos suite for the resilience layer, and the public-API
+# gates (api-lock walk + external-consumer compile smoke).
+ci: check diff-race chaos api-lock
+
+# api-lock pins the public facade: the go/types walk fails when an exported
+# root identifier references an internal/ type with no root-package alias,
+# and the external-consumer smoke builds testdata/extconsumer (a separate
+# module) against the facade using only catapult.* names.
+api-lock:
+	$(GO) test -count=1 -run 'TestAPILock|TestExternalConsumer' .
 
 build:
 	$(GO) build ./...

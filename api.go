@@ -1,0 +1,132 @@
+package catapult
+
+// This file closes the internal-type leak in the facade: every internal
+// type that appears in the package's exported signatures is re-exported
+// here as a root-package alias, so an external module can configure a run,
+// consume its full Result and wire up observability using only catapult.*
+// names — `repro/internal/...` packages cannot be imported from outside
+// this module. api_lock_test.go walks the exported surface with go/types
+// and fails if an unaliased internal type ever reappears.
+
+import (
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/csg"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/resilience"
+)
+
+// Graph is a small labeled data graph (vertices with string labels,
+// optionally labeled undirected edges). Construct with NewGraph, then
+// AddVertex / AddEdge / SetEdgeLabel.
+type Graph = graph.Graph
+
+// VertexID identifies a vertex within one Graph (returned by
+// Graph.AddVertex, accepted by Graph.AddEdge).
+type VertexID = graph.VertexID
+
+// DB is a database of data graphs. Construct with NewDB or ReadDB.
+type DB = graph.DB
+
+// Budget is the pattern budget b = (ηmin, ηmax, γ) of Definition 3.1.
+type Budget = core.Budget
+
+// Pattern is a selected canned pattern with its score breakdown.
+type Pattern = core.Pattern
+
+// SelectionOptions tunes the pattern selector (Config.Selection).
+type SelectionOptions = core.Options
+
+// ClusterConfig controls small graph clustering (Config.Clustering).
+type ClusterConfig = cluster.Config
+
+// ClusterStrategy selects the clustering pipeline.
+type ClusterStrategy = cluster.Strategy
+
+// Clustering strategies, re-exported for external configuration.
+const (
+	// CoarseOnly runs only frequent-subtree k-means clustering.
+	CoarseOnly = cluster.CoarseOnly
+	// FineOnlyMCCS splits the whole database with MCCS fine clustering.
+	FineOnlyMCCS = cluster.FineOnlyMCCS
+	// FineOnlyMCS splits with (unconnected) MCS similarity.
+	FineOnlyMCS = cluster.FineOnlyMCS
+	// HybridMCCS runs coarse then MCCS fine clustering — the paper's
+	// recommended configuration.
+	HybridMCCS = cluster.HybridMCCS
+	// HybridMCS runs coarse then MCS fine clustering.
+	HybridMCS = cluster.HybridMCS
+)
+
+// CSG is a cluster summary graph (Sec 4.2), as returned in Result.CSGs.
+type CSG = csg.CSG
+
+// DegradationConfig is the anytime-degradation knob set
+// (Config.Degradation).
+type DegradationConfig = resilience.Config
+
+// DegradationWeights splits the overall deadline into per-phase soft
+// budgets (DegradationConfig.Weights).
+type DegradationWeights = resilience.Weights
+
+// Health is the per-stage degradation report attached to Result.Health
+// when degradation is enabled.
+type Health = resilience.Health
+
+// StageReport is the health record of one pipeline phase (Health.Stages).
+type StageReport = resilience.StageReport
+
+// StageFault describes one contained worker panic (Health.Faults).
+type StageFault = resilience.StageFault
+
+// Stage names one phase of the pipeline ("clustering", "mine", "coarse",
+// "fine", "csg", "select", ...).
+type Stage = pipeline.Stage
+
+// Counter names a monotonically accumulated pipeline statistic; Result.
+// Counters maps every counter of the run (vf2_calls, mcs_calls, ged_calls,
+// cover_cache_hits/misses, simcache_hits/misses, walks, candidate
+// statistics, and degrade_-prefixed resilience events) to its total.
+type Counter = pipeline.Counter
+
+// Observer receives pipeline execution events: stage start/end spans and
+// counter deltas. Implementations must be safe for concurrent use — events
+// arrive from parallel workers. Install one per run via Config.Observer,
+// or on a context with pipeline.WithTrace inside this module.
+type Observer = pipeline.Trace
+
+// Metrics is a dependency-free, concurrency-safe metrics registry with
+// OpenMetrics/Prometheus text exposition via its Handler method. Pass
+// MetricsObserver(m) as Config.Observer to stream pipeline runs into it.
+type Metrics = metrics.Registry
+
+// NewMetrics returns an empty metrics registry. Serve m.Handler() on
+// /metrics and install MetricsObserver(m) on runs to scrape per-stage
+// latency histograms, pipeline counter totals, cache hit-ratio gauges and
+// degradation counters.
+func NewMetrics() *Metrics { return metrics.NewRegistry() }
+
+// MetricsObserver adapts a metrics registry to the Observer interface:
+// every stage span lands in catapult_stage_duration_seconds{stage=...},
+// every counter delta in catapult_pipeline_events_total{counter=...}, with
+// derived cover/simcache hit-ratio gauges and degradation counters.
+// Multiple runs may share one observer; their metrics aggregate.
+func MetricsObserver(m *Metrics) Observer { return metrics.NewTrace(m) }
+
+// NewGraph returns an empty graph with capacity hints for n vertices and m
+// edges.
+func NewGraph(n, m int) *Graph { return graph.New(n, m) }
+
+// NewDB builds a database from the given graphs, assigning sequential IDs.
+func NewDB(name string, gs []*Graph) *DB { return graph.NewDB(name, gs) }
+
+// ReadDB parses a database in the line-oriented transaction text format
+// ("t # <id>" / "v <id> <label>" / "e <u> <v> [label]").
+func ReadDB(r io.Reader, name string) (*DB, error) { return graph.Read(r, name) }
+
+// WriteDB writes a database in the transaction text format read by ReadDB.
+func WriteDB(w io.Writer, db *DB) error { return graph.Write(w, db) }

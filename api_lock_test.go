@@ -1,0 +1,195 @@
+package catapult_test
+
+// The api-lock test: the root package's exported surface must be fully
+// consumable from outside the module. Go's internal-package rule means an
+// external importer cannot *name* any repro/internal/... type, so every
+// internal named type that appears in an exported root signature — function
+// parameters and results, exported fields of root-declared structs, method
+// signatures of root-declared types, exported variables and constants —
+// must have a root-package alias (api.go). This test type-checks the root
+// package with go/types, walks that surface, and fails when an unaliased
+// internal type appears, so the leak PR 5 closed can never silently reopen.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestAPILockNoUnaliasedInternalTypes(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg := typeCheckRootPackage(t, fset)
+
+	// Every alias declared in the root package "covers" the named type it
+	// denotes: external code writes catapult.<Alias> and gets the internal
+	// type identity.
+	aliased := make(map[*types.TypeName]bool)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		obj, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !obj.Exported() || !obj.IsAlias() {
+			continue
+		}
+		if named, ok := types.Unalias(obj.Type()).(*types.Named); ok {
+			aliased[named.Obj()] = true
+		}
+	}
+
+	w := &apiWalker{
+		home:    pkg,
+		aliased: aliased,
+		seen:    make(map[types.Type]bool),
+		uses:    make(map[string][]string),
+	}
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch obj := obj.(type) {
+		case *types.TypeName:
+			if obj.IsAlias() {
+				continue // the alias itself is the escape hatch
+			}
+			w.walkDefinedType(name, obj.Type())
+		case *types.Func:
+			w.walk("func "+name, obj.Type())
+		case *types.Var, *types.Const:
+			w.walk(name, obj.Type())
+		}
+	}
+
+	if len(w.uses) > 0 {
+		var lines []string
+		for leak, sites := range w.uses {
+			sort.Strings(sites)
+			lines = append(lines, fmt.Sprintf("  %s (reached via %s)", leak, strings.Join(sites, ", ")))
+		}
+		sort.Strings(lines)
+		t.Errorf("exported API references internal types with no root-package alias; add aliases in api.go:\n%s",
+			strings.Join(lines, "\n"))
+	}
+}
+
+// typeCheckRootPackage parses and type-checks the non-test files of the
+// repository root with the source importer (stdlib-only, no export data
+// needed for the internal dependencies).
+func typeCheckRootPackage(t *testing.T, fset *token.FileSet) *types.Package {
+	t.Helper()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("repro", fset, files, nil)
+	if err != nil {
+		t.Fatalf("type-checking root package: %v", err)
+	}
+	return pkg
+}
+
+type apiWalker struct {
+	home    *types.Package
+	aliased map[*types.TypeName]bool
+	seen    map[types.Type]bool
+	uses    map[string][]string // internal type -> exported sites reaching it
+}
+
+func internalPath(p *types.Package) bool {
+	return p != nil && strings.Contains(p.Path(), "/internal/")
+}
+
+// walk records internal named types reachable from t through the type
+// syntax an external caller must write or hold: composite type structure
+// (pointers, slices, maps, channels, function signatures) is traversed;
+// named types stop the recursion — a named type is either local (its
+// exported definition is walked separately), aliased (covered), or a leak.
+func (w *apiWalker) walk(site string, t types.Type) {
+	if w.seen[t] {
+		return
+	}
+	w.seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() == w.home || obj.Pkg() == nil {
+			return // root-declared or universe type; walked via its own decl
+		}
+		if internalPath(obj.Pkg()) && !w.aliased[obj] {
+			leak := obj.Pkg().Path() + "." + obj.Name()
+			w.uses[leak] = append(w.uses[leak], site)
+		}
+	case *types.Alias:
+		w.walk(site, types.Unalias(t))
+	case *types.Pointer:
+		w.walk(site, t.Elem())
+	case *types.Slice:
+		w.walk(site, t.Elem())
+	case *types.Array:
+		w.walk(site, t.Elem())
+	case *types.Map:
+		w.walk(site, t.Key())
+		w.walk(site, t.Elem())
+	case *types.Chan:
+		w.walk(site, t.Elem())
+	case *types.Signature:
+		for i := 0; i < t.Params().Len(); i++ {
+			w.walk(site, t.Params().At(i).Type())
+		}
+		for i := 0; i < t.Results().Len(); i++ {
+			w.walk(site, t.Results().At(i).Type())
+		}
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if t.Field(i).Exported() {
+				w.walk(site, t.Field(i).Type())
+			}
+		}
+	case *types.Interface:
+		for i := 0; i < t.NumExplicitMethods(); i++ {
+			m := t.ExplicitMethod(i)
+			if m.Exported() {
+				w.walk(site, m.Type())
+			}
+		}
+		for i := 0; i < t.NumEmbeddeds(); i++ {
+			w.walk(site, t.EmbeddedType(i))
+		}
+	}
+}
+
+// walkDefinedType walks a root-declared (non-alias) named type: its
+// underlying structure plus every exported method signature.
+func (w *apiWalker) walkDefinedType(name string, t types.Type) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	w.walk("type "+name, named.Underlying())
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if m.Exported() {
+			w.walk(fmt.Sprintf("method %s.%s", name, m.Name()), m.Type())
+		}
+	}
+}

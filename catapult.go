@@ -20,11 +20,28 @@
 //  4. greedily select canned patterns from the weighted CSGs with random
 //     walks and the coverage × diversity / cognitive-load score (Sec 5).
 //
+// The package is consumable from outside this module using only catapult.*
+// names: the configuration and result types of the internal packages are
+// re-exported as root-package aliases (Budget, Pattern, Health, Counter,
+// ClusterConfig, ...; see api.go), and an api-lock test keeps the exported
+// surface free of unaliased internal types.
+//
 // Minimal use:
 //
-//	db := ... // *graph.DB
-//	res, err := catapult.Select(db, catapult.Config{
-//	    Budget: core.Budget{EtaMin: 3, EtaMax: 12, Gamma: 30},
+//	db, err := catapult.ReadDB(f, "mydb") // or catapult.NewDB(...)
+//	if err != nil { ... }
+//	res, err := catapult.SelectCtx(ctx, db, catapult.Config{
+//	    Budget: catapult.Budget{EtaMin: 3, EtaMax: 12, Gamma: 30},
+//	})
+//
+// Observability: install an Observer (e.g. the metrics adapter) to stream
+// stage spans and counters into a scrapeable registry:
+//
+//	m := catapult.NewMetrics()
+//	http.Handle("/metrics", m.Handler())
+//	res, err := catapult.SelectCtx(ctx, db, catapult.Config{
+//	    Budget:   catapult.Budget{EtaMin: 3, EtaMax: 12, Gamma: 30},
+//	    Observer: catapult.MetricsObserver(m),
 //	})
 package catapult
 
@@ -99,6 +116,13 @@ type Config struct {
 	// disabled run. The zero value (disabled) preserves the legacy
 	// all-or-nothing contract exactly.
 	Degradation resilience.Config
+	// Observer, when non-nil, receives every pipeline stage event and
+	// counter delta of the run, teed with any tracer already installed on
+	// the context via pipeline.WithTrace. Install MetricsObserver(m) to
+	// stream the run into a scrapeable metrics registry. Observers see
+	// events concurrently from parallel workers and must be safe for
+	// concurrent use. Observation never changes selection output.
+	Observer Observer
 }
 
 func (c *Config) defaults() {
@@ -172,6 +196,10 @@ func (r *Result) PatternGraphs() []*graph.Graph {
 }
 
 // Select runs the full CATAPULT pipeline on db.
+//
+// Deprecated: use SelectCtx, which adds cooperative cancellation and
+// deadline support. Select is equivalent to SelectCtx with
+// context.Background().
 func Select(db *graph.DB, cfg Config) (*Result, error) {
 	return SelectCtx(context.Background(), db, cfg)
 }
@@ -193,7 +221,7 @@ func SelectCtx(stdctx context.Context, db *graph.DB, cfg Config) (*Result, error
 		return nil, fmt.Errorf("catapult: empty database")
 	}
 	rec := pipeline.NewRecorder()
-	stdctx = pipeline.WithTrace(stdctx, pipeline.Tee(rec, pipeline.From(stdctx)))
+	stdctx = pipeline.WithTrace(stdctx, pipeline.Tee(rec, cfg.Observer, pipeline.From(stdctx)))
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// Degradation controller: split the overall budget — Degradation.
@@ -212,6 +240,7 @@ func SelectCtx(stdctx context.Context, db *graph.DB, cfg Config) (*Result, error
 			hard = d
 		}
 		ctrl = resilience.NewController(cfg.Degradation, now, hard)
+		ctrl.Observe(pipeline.From(stdctx))
 		stdctx = resilience.WithController(stdctx, ctrl)
 		if !hard.IsZero() {
 			var cancel context.CancelFunc

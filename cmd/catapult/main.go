@@ -12,9 +12,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 
 	catapult "repro"
@@ -22,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/freqmine"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/resilience"
 )
@@ -46,6 +50,7 @@ func main() {
 		deadline = flag.Duration("deadline", 0, "anytime deadline: degrade gracefully instead of aborting, returning the best pattern set found in time")
 		health   = flag.Bool("health", false, "print the per-stage degradation report to stderr after the run")
 		trace    = flag.Bool("trace", false, "log pipeline stages and counters to stderr")
+		maddr    = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof/ on this address while the pipeline runs (for long runs; e.g. :9090)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -103,6 +108,9 @@ func main() {
 		lt = pipeline.NewLogTrace(os.Stderr)
 		ctx = pipeline.WithTrace(ctx, lt)
 	}
+	if *maddr != "" {
+		cfg.Observer = serveMetrics(*maddr)
+	}
 
 	res, err := catapult.SelectCtx(ctx, db, cfg)
 	if lt != nil {
@@ -152,6 +160,37 @@ func main() {
 	} else if err := graph.Write(w, pdb); err != nil {
 		fatal(err)
 	}
+}
+
+// serveMetrics starts the -metrics-addr observability server in the
+// background and returns the pipeline observer feeding it: /metrics serves
+// the OpenMetrics exposition, /healthz liveness, and /debug/pprof/ the
+// standard profiling endpoints (CPU samples carry the pipeline's per-stage
+// labels, so `go tool pprof -tagfocus stage=<name>` isolates one stage of
+// a long run). The server lives for the process; a batch run simply exits
+// with it.
+func serveMetrics(addr string) catapult.Observer {
+	reg := metrics.NewRegistry()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Status string `json:"status"`
+		}{"ok"})
+	})
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "catapult: metrics server: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "metrics on http://localhost%s/metrics (pprof on /debug/pprof/)\n", addr)
+	return metrics.NewTrace(reg)
 }
 
 func fatal(err error) {

@@ -1,6 +1,14 @@
 // Command guiserve mines canned patterns from a database (or generates a
 // synthetic one) and serves them as a visual pattern panel over HTTP —
-// SVG cards with score breakdowns, plus JSON and DOT endpoints.
+// SVG cards with score breakdowns, plus JSON and DOT endpoints — together
+// with the operational surface of a long-lived pattern service:
+//
+//	/metrics        OpenMetrics exposition (per-stage latency histograms,
+//	                pipeline counters, cache hit-ratio gauges, maintainer
+//	                gauges)
+//	/healthz        liveness + selection summary as JSON
+//	/debug/pprof/*  Go profiling; CPU samples carry stage labels, so
+//	                `go tool pprof -tagfocus stage=fine` isolates a stage
 //
 // Usage:
 //
@@ -9,17 +17,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 
 	catapult "repro"
-	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/gindex"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/webui"
 )
 
@@ -56,23 +64,51 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "dataset: %s\n", db.ComputeStats())
 
-	res, err := catapult.Select(db, catapult.Config{
-		Budget:     core.Budget{EtaMin: *etaMin, EtaMax: *etaMax, Gamma: *gamma},
-		Clustering: cluster.Config{Strategy: cluster.HybridMCCS, N: 20, MinSupport: 0.1},
+	reg := metrics.NewRegistry()
+	cfg := catapult.Config{
+		Budget:     catapult.Budget{EtaMin: *etaMin, EtaMax: *etaMax, Gamma: *gamma},
+		Clustering: catapult.ClusterConfig{Strategy: catapult.HybridMCCS, N: 20, MinSupport: 0.1},
 		Seed:       *seed,
-	})
+	}
+	srv, res, err := buildServer(context.Background(), db, cfg, reg)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "selected %d patterns (clustering %v, selection %v)\n",
 		len(res.Patterns), res.ClusteringTime, res.PatternTime)
-
-	srv := webui.NewServer(db.Name, res.Patterns)
-	srv.EnableSearch(gindex.Build(db, gindex.Options{}))
-	fmt.Fprintf(os.Stderr, "serving pattern panel on http://localhost%s/ (POST /api/search for retrieval)\n", *addr)
+	fmt.Fprintf(os.Stderr, "serving pattern panel on http://localhost%s/ (POST /api/search for retrieval; /metrics, /healthz, /debug/pprof/)\n", *addr)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fatal(err)
 	}
+}
+
+// buildServer runs the pipeline on db with its stage spans and counters
+// streamed into reg, and assembles the full handler set: pattern panel,
+// subgraph search, metrics exposition, health and pprof. Split from main so
+// the handler test can scrape a real selection.
+func buildServer(ctx context.Context, db *graph.DB, cfg catapult.Config, reg *metrics.Registry) (*webui.Server, *catapult.Result, error) {
+	cfg.Observer = metrics.NewTrace(reg)
+	res, err := catapult.SelectCtx(ctx, db, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := webui.NewServer(db.Name, res.Patterns)
+	srv.EnableSearch(gindex.Build(db, gindex.Options{}))
+	srv.EnableObservability(reg.Handler(), func() any {
+		return healthPayload(db.Name, res)
+	})
+	return srv, res, nil
+}
+
+// healthPayload is the /healthz response body.
+func healthPayload(dataset string, res *catapult.Result) any {
+	return struct {
+		Status   string `json:"status"`
+		Dataset  string `json:"dataset"`
+		Patterns int    `json:"patterns"`
+		Clusters int    `json:"clusters"`
+		Degraded bool   `json:"degraded"`
+	}{"ok", dataset, len(res.Patterns), len(res.Clusters), res.Degraded()}
 }
 
 func fatal(err error) {

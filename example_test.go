@@ -4,19 +4,19 @@ import (
 	"fmt"
 
 	catapult "repro"
-	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/queryform"
 )
 
 // ExampleSelect runs the full pipeline on a small synthetic repository and
-// reports basic facts about the selection.
+// reports basic facts about the selection. The configuration uses only
+// public catapult.* names, exactly as an external importer would (the
+// dataset helper stands in for loading a real database with ReadDB).
 func ExampleSelect() {
 	db := dataset.AIDSLike(50, 1)
 	res, err := catapult.Select(db, catapult.Config{
-		Budget:     core.Budget{EtaMin: 3, EtaMax: 5, Gamma: 4},
-		Clustering: cluster.Config{Strategy: cluster.HybridMCCS, N: 10, MinSupport: 0.2},
+		Budget:     catapult.Budget{EtaMin: 3, EtaMax: 5, Gamma: 4},
+		Clustering: catapult.ClusterConfig{Strategy: catapult.HybridMCCS, N: 10, MinSupport: 0.2},
 		Seed:       7,
 	})
 	if err != nil {
@@ -38,8 +38,8 @@ func ExampleSelect() {
 func ExampleSelect_queryFormulation() {
 	db := dataset.AIDSLike(50, 1)
 	res, err := catapult.Select(db, catapult.Config{
-		Budget:     core.Budget{EtaMin: 3, EtaMax: 5, Gamma: 4},
-		Clustering: cluster.Config{Strategy: cluster.HybridMCCS, N: 10, MinSupport: 0.2},
+		Budget:     catapult.Budget{EtaMin: 3, EtaMax: 5, Gamma: 4},
+		Clustering: catapult.ClusterConfig{Strategy: catapult.HybridMCCS, N: 10, MinSupport: 0.2},
 		Seed:       7,
 	})
 	if err != nil {

@@ -114,6 +114,9 @@ type Result struct {
 
 // Run performs small graph clustering of db under the given configuration
 // (Algorithm 1, lines 1-2).
+//
+// Deprecated: use RunCtx. This wrapper predates PR 1's context plumbing:
+// it runs uncancellable and reports to no pipeline trace.
 func Run(db *graph.DB, cfg Config) *Result {
 	// context.Background is never cancelled, so RunCtx cannot fail here.
 	res, _ := RunCtx(context.Background(), db, cfg)
@@ -174,6 +177,9 @@ func stageRngs(seed int64) (coarseRng, fineRng *rand.Rand) {
 // Coarse runs only the coarse (Algorithm 2) phase under cfg and returns the
 // clusters and selected subtree features. Exposed for pipelines that need
 // to intervene between the coarse and fine phases (lazy sampling, Sec 4.3).
+//
+// Deprecated: use CoarseCtx. This wrapper predates PR 1's context plumbing:
+// it runs uncancellable and reports to no pipeline trace.
 func Coarse(db *graph.DB, cfg Config) *Result {
 	res, _ := CoarseCtx(context.Background(), db, cfg)
 	return res
@@ -192,6 +198,9 @@ func CoarseCtx(ctx context.Context, db *graph.DB, cfg Config) (*Result, error) {
 
 // Fine runs only the fine (Algorithm 3) phase on the given clusters,
 // splitting any cluster larger than cfg.N.
+//
+// Deprecated: use FineCtx. This wrapper predates PR 1's context plumbing:
+// it runs uncancellable and reports to no pipeline trace.
 func Fine(db *graph.DB, in []*Cluster, cfg Config) []*Cluster {
 	cs, _ := FineCtx(context.Background(), db, in, cfg)
 	return cs

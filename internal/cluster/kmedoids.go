@@ -36,6 +36,9 @@ func MCCSDistance(budget int) DistanceFunc {
 // database sizes the fine-clustering stage handles (N·k ≲ a few hundred).
 // The matrix is filled by direct per-pair calls to dist; KMedoidsCtx is
 // the memoized, parallel variant.
+//
+// Deprecated: use KMedoidsCtx. This wrapper predates PR 1's context plumbing:
+// it runs uncancellable and reports to no pipeline trace.
 func KMedoids(db *graph.DB, k int, dist DistanceFunc, seed int64, maxIter int) []*Cluster {
 	n := db.Len()
 	if n == 0 {

@@ -14,6 +14,9 @@ import (
 
 // Select runs Algorithm 4: greedy, one canned pattern per iteration, until
 // the budget γ is met or no scoring candidate remains.
+//
+// Deprecated: use SelectCtx. This wrapper predates PR 1's context plumbing:
+// it runs uncancellable and reports to no pipeline trace.
 func Select(ctx *Context, b Budget, opts Options) (*Result, error) {
 	// context.Background is never cancelled, so any error from SelectCtx is
 	// a budget validation error, which both variants surface identically.

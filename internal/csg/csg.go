@@ -60,6 +60,9 @@ type CSG struct {
 // Build summarizes the given member graphs (indices into db) into a CSG.
 // Members are merged in ascending-size order so the closure grows from the
 // most typical small structure outward.
+//
+// Deprecated: use BuildCtx. This wrapper predates PR 1's context plumbing:
+// it runs uncancellable and reports to no pipeline trace.
 func Build(db *graph.DB, members []int) *CSG {
 	// context.Background is never cancelled, so BuildCtx cannot fail here.
 	c, _ := BuildCtx(context.Background(), db, members)
@@ -241,6 +244,9 @@ func (c *CSG) Compactness(t float64) float64 {
 
 // BuildAll summarizes every cluster of a clustering into CSGs, building
 // independent clusters in parallel.
+//
+// Deprecated: use BuildAllCtx. This wrapper predates PR 1's context plumbing:
+// it runs uncancellable and reports to no pipeline trace.
 func BuildAll(db *graph.DB, clusters [][]int) []*CSG {
 	out, _ := BuildAllCtx(context.Background(), db, clusters)
 	return out

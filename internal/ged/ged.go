@@ -103,6 +103,9 @@ func Distance(a, b *graph.Graph) int {
 // number of full GED computations performed (for instrumentation). If ps is
 // empty it returns (0, 0) — by convention the first pattern added to an
 // empty set has no diversity constraint.
+//
+// Deprecated: use MinDistanceCtx. This wrapper predates PR 1's context plumbing:
+// it runs uncancellable and reports to no pipeline trace.
 func MinDistance(p *graph.Graph, ps []*graph.Graph) (minDist, fullComputations int) {
 	minDist, fullComputations, _ = MinDistanceCtx(context.Background(), p, ps)
 	return minDist, fullComputations

@@ -100,6 +100,9 @@ const ctxCheckMask = 0xff
 
 // MCCS returns a maximum connected common subgraph of g1 and g2 within the
 // given node budget (DefaultBudget if budget <= 0).
+//
+// Deprecated: use MCCSCtx. This wrapper predates PR 1's context plumbing:
+// it runs uncancellable and reports to no pipeline trace.
 func MCCS(g1, g2 *graph.Graph, budget int) Result {
 	r, _ := MCCSCtx(context.Background(), g1, g2, budget)
 	return r
@@ -148,6 +151,9 @@ func MCCSCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (Result, erro
 // MCS returns a maximum common subgraph (possibly disconnected), computed as
 // a greedy union of MCCS components. The shared budget is split across
 // component searches.
+//
+// Deprecated: use MCSCtx. This wrapper predates PR 1's context plumbing:
+// it runs uncancellable and reports to no pipeline trace.
 func MCS(g1, g2 *graph.Graph, budget int) Result {
 	r, _ := MCSCtx(context.Background(), g1, g2, budget)
 	return r
@@ -186,6 +192,9 @@ func MCSCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (Result, error
 }
 
 // SimilarityMCCS returns ωmccs(g1,g2) ∈ [0,1].
+//
+// Deprecated: use SimilarityMCCSCtx. This wrapper predates PR 1's context plumbing:
+// it runs uncancellable and reports to no pipeline trace.
 func SimilarityMCCS(g1, g2 *graph.Graph, budget int) float64 {
 	s, _ := SimilarityMCCSCtx(context.Background(), g1, g2, budget)
 	return s
@@ -205,6 +214,9 @@ func SimilarityMCCSCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (fl
 }
 
 // SimilarityMCS returns ωmcs(g1,g2) ∈ [0,1].
+//
+// Deprecated: use SimilarityMCSCtx. This wrapper predates PR 1's context plumbing:
+// it runs uncancellable and reports to no pipeline trace.
 func SimilarityMCS(g1, g2 *graph.Graph, budget int) float64 {
 	s, _ := SimilarityMCSCtx(context.Background(), g1, g2, budget)
 	return s

@@ -1,0 +1,463 @@
+// Package metrics is a dependency-free, concurrency-safe metrics registry
+// with OpenMetrics/Prometheus text-format exposition, built for the
+// long-lived serving surfaces of this repository (cmd/guiserve,
+// cmd/catapult -metrics-addr).
+//
+// Three metric kinds are supported — monotone counters, settable gauges and
+// fixed-bucket histograms — each optionally split by a fixed set of label
+// names ("vectors"). Families register idempotently: asking the registry for
+// an already-registered name returns the existing family, so independent
+// components can share one registry without coordination (a kind or label
+// mismatch panics, as it is a programming error).
+//
+// The exposition format follows OpenMetrics: counter samples carry the
+// `_total` suffix, histograms expose `_bucket{le=...}`/`_sum`/`_count`
+// series, families are sorted by name, and the body ends with `# EOF`. The
+// output is also parseable by the classic Prometheus text-format parser.
+//
+// All mutation paths (Add, Set, Observe, With) are safe for concurrent use
+// and lock-free after the first touch of a label combination; scraping
+// takes only read locks, so a scrape never blocks the pipeline.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is the metric family kind.
+type Kind int
+
+// Metric family kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// DefBuckets are the default histogram bucket upper bounds (seconds),
+// spanning sub-millisecond stage blips to minute-scale clustering runs.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60,
+}
+
+// Registry holds metric families. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []string
+	bounds []float64 // histogram bucket upper bounds (excluding +Inf)
+
+	mu      sync.RWMutex
+	metrics map[string]*metric
+}
+
+// metric is one (family, label values) time series. value is the float64
+// bit pattern of the current counter/gauge value; histograms use buckets,
+// sum and count instead.
+type metric struct {
+	labelValues []string
+	value       atomic.Uint64
+
+	buckets []atomic.Uint64 // cumulative-at-scrape-time? no: per-bucket counts
+	sum     atomic.Uint64
+	count   atomic.Uint64
+}
+
+func (m *metric) add(v float64) {
+	for {
+		old := m.value.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if m.value.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (m *metric) set(v float64) { m.value.Store(math.Float64bits(v)) }
+
+func (m *metric) get() float64 { return math.Float64frombits(m.value.Load()) }
+
+func (m *metric) observe(bounds []float64, v float64) {
+	// Buckets hold per-bucket (non-cumulative) counts; exposition
+	// accumulates them into the cumulative le series.
+	i := sort.SearchFloat64s(bounds, v)
+	m.buckets[i].Add(1) // index len(bounds) is the +Inf overflow bucket
+	m.count.Add(1)
+	for {
+		old := m.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if m.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (r *Registry) register(name, help string, kind Kind, labels []string, bounds []float64) *family {
+	if name == "" {
+		panic("metrics: empty family name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("metrics: family %q re-registered with different kind or labels", name))
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		kind:    kind,
+		labels:  append([]string(nil), labels...),
+		bounds:  append([]float64(nil), bounds...),
+		metrics: make(map[string]*metric),
+	}
+	r.families[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// child returns the metric for the given label values, creating it on first
+// touch.
+func (f *family) child(values []string) *metric {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: family %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.RLock()
+	m, ok := f.metrics[key]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok = f.metrics[key]; ok {
+		return m
+	}
+	m = &metric{labelValues: append([]string(nil), values...)}
+	if f.kind == KindHistogram {
+		m.buckets = make([]atomic.Uint64, len(f.bounds)+1)
+	}
+	f.metrics[key] = m
+	return m
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ m *metric }
+
+// Add accumulates v (must be non-negative) into the counter.
+func (c Counter) Add(v float64) {
+	if v < 0 {
+		panic("metrics: counter decrease")
+	}
+	c.m.add(v)
+}
+
+// Inc adds 1.
+func (c Counter) Inc() { c.m.add(1) }
+
+// Value returns the current total.
+func (c Counter) Value() float64 { return c.m.get() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ m *metric }
+
+// Set replaces the gauge value.
+func (g Gauge) Set(v float64) { g.m.set(v) }
+
+// Add accumulates v (may be negative) into the gauge.
+func (g Gauge) Add(v float64) { g.m.add(v) }
+
+// Value returns the current value.
+func (g Gauge) Value() float64 { return g.m.get() }
+
+// Histogram counts observations into fixed buckets.
+type Histogram struct {
+	m      *metric
+	bounds []float64
+}
+
+// Observe records v.
+func (h Histogram) Observe(v float64) { h.m.observe(h.bounds, v) }
+
+// Count returns the number of observations so far.
+func (h Histogram) Count() uint64 { return h.m.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h Histogram) Sum() float64 { return math.Float64frombits(h.m.sum.Load()) }
+
+// CounterVec is a counter family split by label values.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (in the order the
+// label names were registered).
+func (v CounterVec) With(values ...string) Counter { return Counter{v.f.child(values)} }
+
+// GaugeVec is a gauge family split by label values.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v GaugeVec) With(values ...string) Gauge { return Gauge{v.f.child(values)} }
+
+// HistogramVec is a histogram family split by label values.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v HistogramVec) With(values ...string) Histogram {
+	return Histogram{v.f.child(values), v.f.bounds}
+}
+
+// Counter registers (or fetches) an unlabelled counter.
+func (r *Registry) Counter(name, help string) Counter {
+	return Counter{r.register(name, help, KindCounter, nil, nil).child(nil)}
+}
+
+// CounterVec registers (or fetches) a counter family with the given label
+// names.
+func (r *Registry) CounterVec(name, help string, labels ...string) CounterVec {
+	return CounterVec{r.register(name, help, KindCounter, labels, nil)}
+}
+
+// Gauge registers (or fetches) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) Gauge {
+	return Gauge{r.register(name, help, KindGauge, nil, nil).child(nil)}
+}
+
+// GaugeVec registers (or fetches) a gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) GaugeVec {
+	return GaugeVec{r.register(name, help, KindGauge, labels, nil)}
+}
+
+// Histogram registers (or fetches) an unlabelled histogram with the given
+// bucket upper bounds (nil uses DefBuckets). Bounds must be sorted
+// ascending; +Inf is implicit.
+func (r *Registry) Histogram(name, help string, bounds []float64) Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	f := r.register(name, help, KindHistogram, nil, bounds)
+	return Histogram{f.child(nil), f.bounds}
+}
+
+// HistogramVec registers (or fetches) a histogram family with the given
+// bucket upper bounds (nil uses DefBuckets) and label names.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) HistogramVec {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return HistogramVec{r.register(name, help, KindHistogram, labels, bounds)}
+}
+
+// WriteTo writes the registry contents in OpenMetrics text format,
+// terminated by `# EOF`. Families and series are emitted in sorted order so
+// output is deterministic given the same state.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.RUnlock()
+
+	for _, f := range fams {
+		if err := f.write(cw); err != nil {
+			return cw.n, err
+		}
+	}
+	_, err := fmt.Fprintf(cw, "# EOF\n")
+	return cw.n, err
+}
+
+func (f *family) write(w io.Writer) error {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.metrics))
+	for k := range f.metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ms := make([]*metric, len(keys))
+	for i, k := range keys {
+		ms[i] = f.metrics[k]
+	}
+	f.mu.RUnlock()
+	if len(ms) == 0 {
+		return nil
+	}
+
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	for _, m := range ms {
+		switch f.kind {
+		case KindCounter:
+			if _, err := fmt.Fprintf(w, "%s_total%s %s\n", f.name,
+				labelString(f.labels, m.labelValues, "", ""), formatFloat(m.get())); err != nil {
+				return err
+			}
+		case KindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name,
+				labelString(f.labels, m.labelValues, "", ""), formatFloat(m.get())); err != nil {
+				return err
+			}
+		case KindHistogram:
+			var cum uint64
+			for i, b := range f.bounds {
+				cum += m.buckets[i].Load()
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, m.labelValues, "le", formatFloat(b)), cum); err != nil {
+					return err
+				}
+			}
+			cum += m.buckets[len(f.bounds)].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+				labelString(f.labels, m.labelValues, "le", "+Inf"), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
+				labelString(f.labels, m.labelValues, "", ""),
+				formatFloat(math.Float64frombits(m.sum.Load()))); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name,
+				labelString(f.labels, m.labelValues, "", ""), m.count.Load()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// labelString renders {k="v",...}, optionally with one extra pair appended
+// (the histogram le label); empty when there are no pairs at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ContentType is the OpenMetrics content type served by Handler.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// Handler returns an http.Handler serving the registry in OpenMetrics text
+// format (the /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_, _ = r.WriteTo(w)
+	})
+}

@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("requests", "Requests served.", "method")
+	c.With("get").Add(3)
+	c.With("post").Inc()
+	g := r.Gauge("temperature", "Current temperature.")
+	g.Set(-1.5)
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE requests counter",
+		`requests_total{method="get"} 3`,
+		`requests_total{method="post"} 1`,
+		"# TYPE temperature gauge",
+		"temperature -1.5",
+		"# EOF",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("exposition does not end with # EOF: %q", out)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency", "Latencies.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-102.65) > 1e-9 {
+		t.Fatalf("Sum = %v, want 102.65", h.Sum())
+	}
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE latency histogram",
+		`latency_bucket{le="0.1"} 2`, // 0.05 and the boundary-inclusive 0.1
+		`latency_bucket{le="1"} 3`,
+		`latency_bucket{le="10"} 4`,
+		`latency_bucket{le="+Inf"} 5`,
+		"latency_sum 102.65",
+		"latency_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x", "one")
+	b := r.Counter("x", "one")
+	a.Inc()
+	b.Inc()
+	if got := a.Value(); got != 2 {
+		t.Fatalf("shared counter = %v, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x", "one")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc", "h", "l").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{l="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped series %q missing from:\n%s", want, b.String())
+	}
+}
+
+func TestHandlerServesOpenMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served", "h").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "served_total 1") {
+		t.Errorf("body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+func TestTraceAdapter(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTrace(r)
+
+	tr.StageStart(pipeline.StageMine)
+	tr.StageEnd(pipeline.StageMine, 30*time.Millisecond)
+	tr.Add(pipeline.CounterVF2Calls, 7)
+	tr.Add(pipeline.CounterCoverHits, 3)
+	tr.Add(pipeline.CounterCoverMisses, 1)
+	tr.Add(pipeline.Counter("degrade_csg_skipped"), 2)
+
+	if got := tr.durations.With("mine").Count(); got != 1 {
+		t.Errorf("stage duration observations = %d, want 1", got)
+	}
+	if got := tr.active.With("mine").Value(); got != 0 {
+		t.Errorf("active gauge = %v, want 0 after end", got)
+	}
+	if got := tr.events.With("vf2_calls").Value(); got != 7 {
+		t.Errorf("vf2_calls = %v, want 7", got)
+	}
+	if got := tr.coverRatio.Value(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("cover hit ratio = %v, want 0.75", got)
+	}
+	if got := tr.degrade.With("csg_skipped").Value(); got != 2 {
+		t.Errorf("degradation reason counter = %v, want 2", got)
+	}
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`catapult_stage_duration_seconds_bucket{stage="mine",le="0.05"} 1`,
+		`catapult_pipeline_events_total{counter="vf2_calls"} 7`,
+		`catapult_degradation_events_total{reason="csg_skipped"} 2`,
+		"catapult_cover_cache_hit_ratio 0.75",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestRegistryRaceHammer pounds one registry from many goroutines —
+// mutating existing series, creating fresh label children and scraping
+// concurrently — so `go test -race` proves the registry is safe under a
+// production scrape load.
+func TestRegistryRaceHammer(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTrace(r)
+	const workers = 16
+	const iters = 400
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stage := pipeline.Stage([]string{"mine", "coarse", "fine", "csg", "select"}[w%5])
+			for i := 0; i < iters; i++ {
+				tr.StageStart(stage)
+				tr.Add(pipeline.CounterVF2Calls, 1)
+				tr.Add(pipeline.CounterCoverHits, 2)
+				tr.Add(pipeline.CounterCoverMisses, 1)
+				r.CounterVec("hammer_fresh", "h", "k").With(string(rune('a' + i%26))).Inc()
+				r.Histogram("hammer_hist", "h", nil).Observe(float64(i) / 1000)
+				tr.StageEnd(stage, time.Microsecond)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if _, err := r.WriteTo(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := tr.events.With("vf2_calls").Value(); got != workers*iters {
+		t.Errorf("vf2_calls = %v, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("hammer_hist", "h", nil).Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	for _, s := range []string{"mine", "coarse", "fine", "csg", "select"} {
+		if got := tr.active.With(s).Value(); got != 0 {
+			t.Errorf("stage %s active = %v, want 0", s, got)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -159,12 +160,31 @@ func From(ctx context.Context) Trace {
 
 type stageKey struct{}
 
+// PprofStageLabel is the pprof label key carrying the innermost active
+// stage. CPU and goroutine profiles taken while the pipeline runs can be
+// filtered and aggregated by it, e.g.
+//
+//	go tool pprof -tagfocus stage=fine cpu.out
+const PprofStageLabel = "stage"
+
 // WithStage returns a context recording s as the innermost active stage.
 // Stage entry points install it so downstream helpers (fault containment in
 // internal/par, degradation counters) can attribute work to a stage without
 // threading a name through every call.
+//
+// The stage is additionally attached as the pprof label "stage" on both the
+// returned context and the calling goroutine, so profile samples taken
+// during the stage attribute to it. Goroutines spawned while the label is
+// set (par.ForCtx workers, csg builders) inherit it automatically. Callers
+// that need the previous labels restored on stage exit should use Scope,
+// whose end function resets the goroutine to the parent context's labels;
+// bare WithStage leaves the label in place until the next WithStage on the
+// same goroutine, which is fine for the facade's strictly nested phases.
 func WithStage(ctx context.Context, s Stage) context.Context {
-	return context.WithValue(ctx, stageKey{}, s)
+	ctx = context.WithValue(ctx, stageKey{}, s)
+	ctx = pprof.WithLabels(ctx, pprof.Labels(PprofStageLabel, string(s)))
+	pprof.SetGoroutineLabels(ctx)
+	return ctx
 }
 
 // CurrentStage returns the innermost active stage recorded on ctx, or ""
@@ -179,13 +199,20 @@ func CurrentStage(ctx context.Context) Stage {
 
 // Scope combines WithStage and StartStage: it marks s as the innermost
 // active stage on the returned context and emits StageStart, returning the
-// idempotent end function.
+// idempotent end function. The end function also restores the calling
+// goroutine's pprof labels to the parent context's label set, so profile
+// attribution follows stage nesting.
 //
 //	ctx, done := pipeline.Scope(ctx, pipeline.StageFine)
 //	defer done()
 func Scope(ctx context.Context, s Stage) (context.Context, func()) {
+	parent := ctx
 	ctx = WithStage(ctx, s)
-	return ctx, StartStage(ctx, s)
+	end := StartStage(ctx, s)
+	return ctx, func() {
+		end()
+		pprof.SetGoroutineLabels(parent)
+	}
 }
 
 // StartStage emits StageStart on ctx's tracer and returns the matching end

@@ -266,6 +266,13 @@ type Controller struct {
 	reports  []StageReport
 	faults   []*StageFault
 	counters map[string]int64
+
+	// trace receives every degradation counter as a pipeline counter named
+	// "degrade_<name>", so observability sinks (pipeline.Recorder,
+	// metrics.Trace) see degradation live instead of only in the final
+	// Health snapshot. Set once via Observe before the controller is
+	// shared; never nil.
+	trace pipeline.Trace
 }
 
 // NewController builds a controller whose overall budget ends at hard
@@ -276,6 +283,7 @@ func NewController(cfg Config, now, hard time.Time) *Controller {
 		gedFrac:  cfg.GEDApproxFraction,
 		now:      time.Now,
 		counters: make(map[string]int64),
+		trace:    pipeline.Nop,
 	}
 	if c.gedFrac <= 0 || c.gedFrac > 1 {
 		c.gedFrac = 0.5
@@ -431,13 +439,14 @@ func (c *Controller) markLocked(s Status, detail string) {
 // phase, and marks the phase degraded.
 func (c *Controller) RecordFault(f *StageFault) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if f.Phase == "" {
 		f.Phase = c.phase
 	}
 	c.faults = append(c.faults, f)
 	c.counters["faults"]++
 	c.markLocked(StatusDegraded, fmt.Sprintf("contained panic in %s", faultStage(f)))
+	c.mu.Unlock()
+	c.trace.Add(pipeline.Counter(DegradeCounterPrefix+"faults"), 1)
 }
 
 func faultStage(f *StageFault) string {
@@ -450,11 +459,25 @@ func faultStage(f *StageFault) string {
 	return "pipeline"
 }
 
+// Observe mirrors every degradation counter onto t as a pipeline counter
+// named "degrade_<name>". Call once, before the controller is shared with
+// pipeline stages; passing nil keeps the no-op default.
+func (c *Controller) Observe(t pipeline.Trace) {
+	if t != nil {
+		c.trace = t
+	}
+}
+
+// DegradeCounterPrefix prefixes degradation counters mirrored onto the
+// pipeline trace via Observe.
+const DegradeCounterPrefix = "degrade_"
+
 // Count accumulates a degradation counter.
 func (c *Controller) Count(name string, n int64) {
 	c.mu.Lock()
 	c.counters[name] += n
 	c.mu.Unlock()
+	c.trace.Add(pipeline.Counter(DegradeCounterPrefix+name), n)
 }
 
 // Health snapshots the report. Call after EndPhase of the last phase.

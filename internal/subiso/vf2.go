@@ -76,6 +76,9 @@ func ContainsCtx(ctx context.Context, t, p *graph.Graph) (bool, error) {
 }
 
 // Contains reports whether pattern p is subgraph-isomorphic to target t.
+//
+// Deprecated: use ContainsCtx. This wrapper predates PR 1's context plumbing:
+// it runs uncancellable and reports to no pipeline trace.
 func Contains(t, p *graph.Graph) bool {
 	if quickReject(t, p) {
 		return false

@@ -54,6 +54,9 @@ func (o *MineOptions) defaults() {
 // al. style): frequent single edges are grown one leaf at a time, with
 // canonical-string deduplication and anti-monotone support pruning (a
 // child's support is counted only within its parent's supporting graphs).
+//
+// Deprecated: use MineCtx. This wrapper predates PR 1's context plumbing:
+// it runs uncancellable and reports to no pipeline trace.
 func Mine(db *graph.DB, opts MineOptions) []*FrequentTree {
 	// context.Background is never cancelled, so MineCtx cannot fail here.
 	trees, _ := MineCtx(context.Background(), db, opts)
@@ -211,6 +214,9 @@ func sortTrees(ts []*FrequentTree) {
 // minSupport. Used by the eager-sampling pipeline (Sec 4.3): trees are
 // mined on a sample at a lowered threshold low_fr, then verified against
 // the full database at the original threshold min_fr.
+//
+// Deprecated: use RecountCtx. This wrapper predates PR 1's context plumbing:
+// it runs uncancellable and reports to no pipeline trace.
 func Recount(db *graph.DB, trees []*FrequentTree, minSupport float64) []*FrequentTree {
 	out, _ := RecountCtx(context.Background(), db, trees, minSupport)
 	return out

@@ -1,7 +1,9 @@
 // Package webui serves a minimal visual-graph-query-style pattern panel
 // over HTTP: the canned patterns selected by CATAPULT rendered as SVG
 // cards with their score breakdowns, plus JSON and DOT endpoints for
-// downstream tooling. cmd/guiserve wires it to a database.
+// downstream tooling, and — via EnableObservability — the operational
+// endpoints of a long-lived pattern service (/metrics, /healthz,
+// /debug/pprof/*). cmd/guiserve wires it to a database.
 package webui
 
 import (
@@ -11,6 +13,7 @@ import (
 	"html/template"
 	"io"
 	"net/http"
+	netpprof "net/http/pprof"
 	"strconv"
 	"strings"
 
@@ -55,6 +58,39 @@ func NewServer(datasetName string, patterns []*core.Pattern) *Server {
 // EnableSearch attaches a subgraph-search index so POST /api/search can
 // answer queries against the database the patterns were mined from.
 func (s *Server) EnableSearch(idx *gindex.Index) { s.index = idx }
+
+// EnableObservability mounts the operational endpoints of a long-lived
+// pattern service:
+//
+//   - /metrics serves metricsHandler (OpenMetrics exposition of a
+//     metrics.Registry),
+//   - /healthz serves health() as JSON with a 200 status (the handler is
+//     liveness: reachable means serving; degradation detail belongs in the
+//     payload), and
+//   - /debug/pprof/* serves the standard Go profiling endpoints on this
+//     server's own mux — CPU profiles taken here carry the pipeline's
+//     per-stage pprof labels (pipeline.WithStage), so
+//     `go tool pprof -tagfocus stage=<name>` attributes samples to stages.
+//
+// health may be nil (the endpoint then reports only {"status":"ok"}).
+func (s *Server) EnableObservability(metricsHandler http.Handler, health func() any) {
+	s.mux.Handle("/metrics", metricsHandler)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		var payload any = struct {
+			Status string `json:"status"`
+		}{"ok"}
+		if health != nil {
+			payload = health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(payload)
+	})
+	s.mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }

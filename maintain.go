@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/csg"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 )
 
 // ErrRetryNotDue is returned by RetryCtx when a failed refresh is queued but
@@ -54,10 +55,60 @@ type Maintainer struct {
 	lastErr   error
 
 	now func() time.Time // injectable for backoff tests
+
+	// m holds the operational gauges when EnableMetrics was called, nil
+	// otherwise. Gauges are updated at state transitions (refresh commit,
+	// failure queue, retry-state clear), so a concurrent scrape only ever
+	// touches atomics.
+	m *maintainerMetrics
+}
+
+// maintainerMetrics are the Maintainer's operational series, registered by
+// EnableMetrics.
+type maintainerMetrics struct {
+	pending     metrics.Gauge     // graphs parked on the retry queue
+	nextRetry   metrics.Gauge     // unix seconds the queued batch becomes due, 0 when idle
+	failures    metrics.Counter   // failed refreshes since EnableMetrics
+	refreshes   metrics.Counter   // committed refreshes since EnableMetrics
+	lastRefresh metrics.Gauge     // duration of the last committed refresh, seconds
+	refreshDur  metrics.Histogram // distribution of committed refresh durations
+	clusters    metrics.Gauge     // current cluster count
+	patterns    metrics.Gauge     // current canned-pattern count
+}
+
+// EnableMetrics registers the maintainer's operational gauges on m and
+// seeds them with the current state: queued batch size, next-retry time,
+// refresh failure/commit counters, last-refresh duration, and the served
+// cluster/pattern counts. Call once after NewMaintainerCtx; the same
+// registry can also carry the pipeline metrics of the runs (see
+// MetricsObserver).
+func (mt *Maintainer) EnableMetrics(m *Metrics) {
+	mm := &maintainerMetrics{
+		pending:     m.Gauge("catapult_maintainer_pending_graphs", "Graphs queued from failed incremental refreshes, awaiting retry."),
+		nextRetry:   m.Gauge("catapult_maintainer_next_retry_unix_seconds", "When the queued refresh becomes due (unix seconds; 0 when nothing is queued)."),
+		failures:    m.Counter("catapult_maintainer_refresh_failures", "Failed incremental refreshes (batch parked on the retry queue)."),
+		refreshes:   m.Counter("catapult_maintainer_refreshes", "Committed incremental refreshes."),
+		lastRefresh: m.Gauge("catapult_maintainer_last_refresh_seconds", "Duration of the most recent committed refresh."),
+		refreshDur:  m.Histogram("catapult_maintainer_refresh_duration_seconds", "Distribution of committed refresh durations.", nil),
+		clusters:    m.Gauge("catapult_maintainer_clusters", "Clusters currently served."),
+		patterns:    m.Gauge("catapult_maintainer_patterns", "Canned patterns currently served."),
+	}
+	mt.m = mm
+	mm.clusters.Set(float64(len(mt.clusters)))
+	mm.patterns.Set(float64(len(mt.patterns)))
+	mm.pending.Set(float64(len(mt.pending)))
+	if mt.nextRetry.IsZero() {
+		mm.nextRetry.Set(0)
+	} else {
+		mm.nextRetry.Set(float64(mt.nextRetry.Unix()))
+	}
 }
 
 // NewMaintainer runs the full pipeline once and returns a maintainer that
 // can absorb subsequent insertions incrementally.
+//
+// Deprecated: use NewMaintainerCtx, which adds cooperative cancellation of
+// the initial pipeline run.
 func NewMaintainer(db *graph.DB, cfg Config) (*Maintainer, error) {
 	return NewMaintainerCtx(context.Background(), db, cfg)
 }
@@ -102,6 +153,9 @@ func (m *Maintainer) LastErr() error { return m.lastErr }
 // AddGraphs inserts new data graphs, updates clustering and CSGs
 // incrementally and reselects patterns. It returns the pattern-selection
 // duration.
+//
+// Deprecated: use AddGraphsCtx, which adds cooperative cancellation of the
+// refresh (the transactional retry-queue semantics are identical).
 func (m *Maintainer) AddGraphs(gs []*graph.Graph) (time.Duration, error) {
 	return m.AddGraphsCtx(context.Background(), gs)
 }
@@ -153,6 +207,11 @@ func (m *Maintainer) queueFailed(batch []*graph.Graph, err error) {
 		delay = retryMaxDelay
 	}
 	m.nextRetry = m.now().Add(delay)
+	if m.m != nil {
+		m.m.failures.Inc()
+		m.m.pending.Set(float64(len(m.pending)))
+		m.m.nextRetry.Set(float64(m.nextRetry.Unix()))
+	}
 }
 
 func (m *Maintainer) clearRetryState() {
@@ -160,6 +219,10 @@ func (m *Maintainer) clearRetryState() {
 	m.failures = 0
 	m.nextRetry = time.Time{}
 	m.lastErr = nil
+	if m.m != nil {
+		m.m.pending.Set(0)
+		m.m.nextRetry.Set(0)
+	}
 }
 
 // tryRefresh computes the post-insert state on copies and swaps it into the
@@ -247,7 +310,15 @@ func (m *Maintainer) tryRefresh(stdctx context.Context, gs []*graph.Graph) (time
 	m.clusters = clusters
 	m.csgs = csgs
 	m.patterns = sel.Patterns
-	return time.Since(start), nil
+	pgt := time.Since(start)
+	if m.m != nil {
+		m.m.refreshes.Inc()
+		m.m.lastRefresh.Set(pgt.Seconds())
+		m.m.refreshDur.Observe(pgt.Seconds())
+		m.m.clusters.Set(float64(len(m.clusters)))
+		m.m.patterns.Set(float64(len(m.patterns)))
+	}
+	return pgt, nil
 }
 
 // bestCluster picks the cluster whose CSG shares the most edge-label mass

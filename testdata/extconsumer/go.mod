@@ -1,0 +1,7 @@
+module extconsumer
+
+go 1.22
+
+require repro v0.0.0
+
+replace repro => ../..
