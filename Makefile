@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci build vet fmt test race diff-race chaos api-lock bench bench-gate bench-gate-cluster bench-gate-resilience
+.PHONY: check ci build vet fmt test race diff-race chaos api-lock bench bench-gate bench-gate-cluster bench-gate-resilience bench-gate-graph
 
 # check is the CI gate: vet, formatting, and the full test suite under the
 # race detector.
@@ -8,10 +8,12 @@ check: vet fmt race
 
 # ci extends check with the differential suites pinned explicitly under the
 # race detector — the bit-identity proofs for the coverage engine
-# (internal/cover) and the similarity engine (internal/simcache) — the
-# fault-injection chaos suite for the resilience layer, and the public-API
-# gates (api-lock walk + external-consumer compile smoke).
-ci: check diff-race chaos api-lock
+# (internal/cover), the similarity engine (internal/simcache), and the
+# frozen-graph representation (root frozen_diff_test.go) — the
+# fault-injection chaos suite for the resilience layer, the public-API
+# gates (api-lock walk + external-consumer compile smoke), and the
+# frozen-matcher benchmark gate.
+ci: check diff-race chaos api-lock bench-gate-graph
 
 # api-lock pins the public facade: the go/types walk fails when an exported
 # root identifier references an internal/ type with no root-package alias,
@@ -41,7 +43,7 @@ race:
 # diff-race runs only the engine-vs-naive differential tests, under -race
 # and without result caching, so cache-freshness never masks a divergence.
 diff-race:
-	$(GO) test -race -count=1 -run 'Differential' ./internal/core/ ./internal/cluster/
+	$(GO) test -race -count=1 -run 'Differential' ./internal/core/ ./internal/cluster/ .
 
 # chaos runs the fault-injection suite under -race: injected worker panics
 # and stalls in every pipeline phase must degrade — never crash or leak —
@@ -49,7 +51,7 @@ diff-race:
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos' ./...
 
-bench: bench-gate bench-gate-cluster bench-gate-resilience
+bench: bench-gate bench-gate-cluster bench-gate-resilience bench-gate-graph
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # bench-gate runs the coverage-engine regression gate: it writes
@@ -70,3 +72,10 @@ bench-gate-cluster:
 # and fails if a degraded run returns an empty pattern set.
 bench-gate-resilience:
 	BENCH_GATE_RESILIENCE=1 $(GO) test -run '^TestResilienceBenchGate$$' -count=1 -timeout 600s .
+
+# bench-gate-graph runs the frozen-graph matcher regression gate: it writes
+# BENCH_graph.json (VF2 containment and MCCS similarity, frozen CSR vs the
+# legacy mutable-graph matchers) and fails if frozen VF2 is less than 1.5x
+# faster.
+bench-gate-graph:
+	BENCH_GATE_GRAPH=1 $(GO) test -run '^TestGraphBenchGate$$' -count=1 .

@@ -32,6 +32,27 @@ type VertexID = graph.VertexID
 // DB is a database of data graphs. Construct with NewDB or ReadDB.
 type DB = graph.DB
 
+// Frozen is the immutable, cache-friendly form of a Graph: flat CSR
+// adjacency arrays and interned label IDs, produced by Graph.Freeze() and
+// consumed by the matcher hot paths. Freezing is memoized per graph and
+// invalidated by mutation, so callers may freeze freely.
+type Frozen = graph.Frozen
+
+// Interner is the process-wide string↔LabelID table behind frozen graphs
+// (graph.SharedInterner re-exported via SharedInterner).
+type Interner = graph.Interner
+
+// LabelID is a dense interned vertex-label identifier.
+type LabelID = graph.LabelID
+
+// FrozenStats summarizes a frozen database: graph count, distinct interned
+// labels, and the flat-array memory footprint in bytes (DB.Freeze).
+type FrozenStats = graph.FrozenStats
+
+// SharedInterner returns the process-wide label interner used by every
+// frozen graph.
+func SharedInterner() *Interner { return graph.SharedInterner() }
+
 // Budget is the pattern budget b = (ηmin, ηmax, γ) of Definition 3.1.
 type Budget = core.Budget
 

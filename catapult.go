@@ -105,6 +105,14 @@ type Config struct {
 	// is bit-identical either way; the knob exists for ablation and as an
 	// escape hatch. Equivalent to setting Clustering.DisableSimCache.
 	DisableSimCache bool
+	// DisableFrozenGraph routes every matcher in the pipeline — VF2
+	// containment, MCS/MCCS similarity — through the legacy mutable-graph
+	// implementations instead of the frozen-CSR forms (graph.Frozen).
+	// Selection output is bit-identical either way: the frozen kernels
+	// replicate the legacy exploration order exactly. The knob exists for
+	// ablation benchmarks and as an escape hatch. Equivalent to setting
+	// Clustering.DisableFrozenGraph plus the selection-context switch.
+	DisableFrozenGraph bool
 	// Degradation configures anytime, deadline-aware graceful degradation
 	// (internal/resilience). When Enabled, the overall deadline —
 	// Degradation.Deadline and/or the context deadline, whichever is
@@ -144,6 +152,9 @@ func (c *Config) defaults() {
 	}
 	if c.DisableSimCache {
 		c.Clustering.DisableSimCache = true
+	}
+	if c.DisableFrozenGraph {
+		c.Clustering.DisableFrozenGraph = true
 	}
 }
 
@@ -355,6 +366,9 @@ func SelectCtx(stdctx context.Context, db *graph.DB, cfg Config) (*Result, error
 	ctx := core.NewContextSized(db, csgs, effSizes)
 	if cfg.DisableCoverEngine {
 		ctx.DisableCoverEngine()
+	}
+	if cfg.DisableFrozenGraph {
+		ctx.DisableFrozenGraph()
 	}
 	sel, err := core.SelectCtx(sctx, ctx, cfg.Budget, cfg.Selection)
 	endPhase(cancelSelect)

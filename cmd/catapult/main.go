@@ -69,6 +69,11 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "loaded %s: %s\n", *in, db.ComputeStats())
+	// Freeze the database up front: the matcher hot paths run on the frozen
+	// CSR form, and freezing here makes the memory story visible at startup.
+	fstats := db.Freeze()
+	fmt.Fprintf(os.Stderr, "frozen: %d graphs, %d interned labels, %d bytes CSR\n",
+		fstats.Graphs, fstats.Labels, fstats.Bytes)
 
 	cfg := catapult.Config{
 		Budget:     core.Budget{EtaMin: *etaMin, EtaMax: *etaMax, Gamma: *gamma},
@@ -109,7 +114,14 @@ func main() {
 		ctx = pipeline.WithTrace(ctx, lt)
 	}
 	if *maddr != "" {
-		cfg.Observer = serveMetrics(*maddr)
+		obs, reg := serveMetrics(*maddr)
+		cfg.Observer = obs
+		reg.Gauge("catapult_graph_labels",
+			"Distinct vertex labels in the shared interner after freezing the database.").
+			Set(float64(fstats.Labels))
+		reg.Gauge("catapult_graph_bytes",
+			"Memory footprint in bytes of the frozen database's flat CSR arrays.").
+			Set(float64(fstats.Bytes))
 	}
 
 	res, err := catapult.SelectCtx(ctx, db, cfg)
@@ -163,13 +175,14 @@ func main() {
 }
 
 // serveMetrics starts the -metrics-addr observability server in the
-// background and returns the pipeline observer feeding it: /metrics serves
-// the OpenMetrics exposition, /healthz liveness, and /debug/pprof/ the
+// background and returns the pipeline observer feeding it together with
+// the backing registry (for process-level gauges): /metrics serves the
+// OpenMetrics exposition, /healthz liveness, and /debug/pprof/ the
 // standard profiling endpoints (CPU samples carry the pipeline's per-stage
 // labels, so `go tool pprof -tagfocus stage=<name>` isolates one stage of
 // a long run). The server lives for the process; a batch run simply exits
 // with it.
-func serveMetrics(addr string) catapult.Observer {
+func serveMetrics(addr string) (catapult.Observer, *metrics.Registry) {
 	reg := metrics.NewRegistry()
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
@@ -190,7 +203,7 @@ func serveMetrics(addr string) catapult.Observer {
 		}
 	}()
 	fmt.Fprintf(os.Stderr, "metrics on http://localhost%s/metrics (pprof on /debug/pprof/)\n", addr)
-	return metrics.NewTrace(reg)
+	return metrics.NewTrace(reg), reg
 }
 
 func fatal(err error) {

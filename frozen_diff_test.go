@@ -1,0 +1,163 @@
+package catapult_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	catapult "repro"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+)
+
+// Differential tests for the frozen-graph representation: every matcher in
+// the pipeline — VF2 containment, MCS/MCCS similarity, the CSG merge — now
+// runs on the immutable CSR form (graph.Frozen), and
+// Config.DisableFrozenGraph routes them back through the legacy
+// mutable-graph implementations. The two paths must be bit-identical for
+// full pipeline selections across seeds and worker counts: the frozen
+// kernels replicate the legacy exploration order exactly, so the refactor
+// is an accelerator, not an approximation. Modeled on
+// internal/cluster/sim_diff_test.go.
+
+// permutedCopy returns an isomorphic copy of g with vertices renumbered by
+// a random permutation.
+func permutedCopy(g *graph.Graph, rng *rand.Rand) *graph.Graph {
+	vs := make([]graph.VertexID, g.NumVertices())
+	for i := range vs {
+		vs[i] = graph.VertexID(i)
+	}
+	rng.Shuffle(len(vs), func(i, j int) { vs[i], vs[j] = vs[j], vs[i] })
+	sub, _ := g.InducedSubgraph(vs)
+	return sub
+}
+
+// redundantDB builds a database with isomorphic redundancy — each base
+// molecule plus a permuted twin — the regime where budget-bounded searches
+// are most order-sensitive, so representation divergence would surface.
+func redundantDB(seed int64) *graph.DB {
+	base := dataset.AIDSLike(10, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x7ca))
+	var gs []*graph.Graph
+	for _, g := range base.Graphs {
+		gs = append(gs, g, permutedCopy(g, rng))
+	}
+	return graph.NewDB("frozen-diff", gs)
+}
+
+// assertSameResult demands byte-identical selection output: clusters,
+// effective sizes, CSGs, and patterns with their full score breakdowns.
+func assertSameResult(t *testing.T, label string, got, want *catapult.Result) {
+	t.Helper()
+	if got.Exhausted != want.Exhausted {
+		t.Errorf("%s: Exhausted differs: %v vs %v", label, got.Exhausted, want.Exhausted)
+	}
+	if !reflect.DeepEqual(got.Clusters, want.Clusters) {
+		t.Fatalf("%s: clusters diverge\n got:  %v\n want: %v", label, got.Clusters, want.Clusters)
+	}
+	if !reflect.DeepEqual(got.EffectiveSizes, want.EffectiveSizes) {
+		t.Errorf("%s: effective sizes diverge", label)
+	}
+	if len(got.CSGs) != len(want.CSGs) {
+		t.Fatalf("%s: CSG counts differ: %d vs %d", label, len(got.CSGs), len(want.CSGs))
+	}
+	for i := range got.CSGs {
+		if got.CSGs[i].G.String() != want.CSGs[i].G.String() ||
+			!reflect.DeepEqual(got.CSGs[i].Members, want.CSGs[i].Members) {
+			t.Errorf("%s: CSG %d diverges", label, i)
+		}
+	}
+	if len(got.Patterns) != len(want.Patterns) {
+		t.Fatalf("%s: pattern counts differ: %d vs %d", label, len(got.Patterns), len(want.Patterns))
+	}
+	for i := range got.Patterns {
+		pa, pb := got.Patterns[i], want.Patterns[i]
+		if pa.Graph.String() != pb.Graph.String() {
+			t.Errorf("%s: pattern %d differs:\n got:  %v\n want: %v", label, i, pa.Graph, pb.Graph)
+		}
+		if pa.Score != pb.Score || pa.Ccov != pb.Ccov || pa.Lcov != pb.Lcov ||
+			pa.Div != pb.Div || pa.Cog != pb.Cog || pa.SourceCSG != pb.SourceCSG {
+			t.Errorf("%s: pattern %d breakdown differs:\n got:  %+v\n want: %+v", label, i, *pa, *pb)
+		}
+	}
+}
+
+// TestDifferentialFrozenSelect runs the full pipeline through the public
+// facade with DisableFrozenGraph on (legacy mutable-graph matchers) as the
+// reference, then demands the frozen default reproduce it bit-identically
+// across worker counts {1, 4, GOMAXPROCS} and three seeds. A tight MCS
+// budget keeps the similarity searches order-sensitive — any divergence in
+// exploration order between the two representations would change split
+// decisions and surface here.
+func TestDifferentialFrozenSelect(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	workerCounts := []int{1, 4, prev}
+
+	for seed := int64(1); seed <= 3; seed++ {
+		db := redundantDB(seed)
+		cfg := catapult.Config{
+			Budget: core.Budget{EtaMin: 3, EtaMax: 5, Gamma: 4},
+			Clustering: cluster.Config{
+				Strategy:   cluster.HybridMCCS,
+				N:          6,
+				MinSupport: 0.2,
+				MCSBudget:  1500,
+			},
+			Selection: core.Options{Walks: 6},
+			Seed:      seed,
+		}
+		legacyCfg := cfg
+		legacyCfg.DisableFrozenGraph = true
+
+		want, err := catapult.Select(db, legacyCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerCounts {
+			runtime.GOMAXPROCS(w)
+			got, err := catapult.Select(db, cfg)
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, fmt.Sprintf("seed %d workers %d", seed, w), got, want)
+		}
+	}
+}
+
+// TestDifferentialFrozenNaiveEngines crosses the frozen knob with the
+// engine opt-outs: even on the naive sequential scoring and similarity
+// paths, frozen and legacy matchers must agree bit-identically.
+func TestDifferentialFrozenNaiveEngines(t *testing.T) {
+	db := redundantDB(2)
+	cfg := catapult.Config{
+		Budget: core.Budget{EtaMin: 3, EtaMax: 5, Gamma: 3},
+		Clustering: cluster.Config{
+			Strategy:   cluster.HybridMCCS,
+			N:          6,
+			MinSupport: 0.2,
+			MCSBudget:  1500,
+		},
+		Selection:          core.Options{Walks: 6},
+		Seed:               2,
+		DisableCoverEngine: true,
+		DisableSimCache:    true,
+	}
+	legacyCfg := cfg
+	legacyCfg.DisableFrozenGraph = true
+
+	want, err := catapult.Select(db, legacyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := catapult.Select(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "naive-engines", got, want)
+}

@@ -30,10 +30,15 @@ func String(g *graph.Graph) string {
 	if n == 0 {
 		return "∅"
 	}
-	s := &searchState{g: g, n: n}
-	colors := initialColors(g)
+	f := g.Freeze()
+	if memo, ok := f.CanonicalMemo(); ok {
+		return memo
+	}
+	s := &searchState{f: f, n: n}
+	colors := initialColors(f)
 	colors = s.refine(colors)
 	s.search(colors, nil)
+	f.SetCanonicalMemo(s.best)
 	return s.best
 }
 
@@ -108,32 +113,35 @@ func Reconstruct(s string) (*graph.Graph, error) {
 }
 
 type searchState struct {
-	g    *graph.Graph
+	f    *graph.Frozen
 	n    int
 	best string
 }
 
-// initialColors assigns each vertex a color id by its label (sorted label
-// order, so colors are canonical).
-func initialColors(g *graph.Graph) []int {
-	labels := make([]string, g.NumVertices())
-	uniq := map[string]struct{}{}
-	for v := 0; v < g.NumVertices(); v++ {
-		labels[v] = g.Label(graph.VertexID(v))
-		uniq[labels[v]] = struct{}{}
+// initialColors assigns each vertex a color id by its label. Colors must
+// rank labels in sorted *string* order (so they are canonical and stable
+// across processes), not in LabelID order, which depends on interning
+// history; the unique labels are resolved through the interner and sorted
+// as strings before ranking.
+func initialColors(f *graph.Frozen) []int {
+	uniq := map[graph.LabelID]struct{}{}
+	for v := 0; v < f.NumVertices(); v++ {
+		uniq[f.Label(int32(v))] = struct{}{}
 	}
+	in := f.Interner()
 	sorted := make([]string, 0, len(uniq))
-	for l := range uniq {
-		sorted = append(sorted, l)
+	for id := range uniq {
+		sorted = append(sorted, in.LabelString(id))
 	}
 	sort.Strings(sorted)
-	rank := map[string]int{}
+	rank := map[graph.LabelID]int{}
 	for i, l := range sorted {
-		rank[l] = i
+		id, _ := in.Lookup(l)
+		rank[id] = i
 	}
-	colors := make([]int, g.NumVertices())
-	for v, l := range labels {
-		colors[v] = rank[l]
+	colors := make([]int, f.NumVertices())
+	for v := range colors {
+		colors[v] = rank[f.Label(int32(v))]
 	}
 	return colors
 }
@@ -149,7 +157,7 @@ func (s *searchState) refine(colors []int) []int {
 	var ns []int
 	for {
 		for v := 0; v < s.n; v++ {
-			nb := s.g.Neighbors(graph.VertexID(v))
+			nb := s.f.Neighbors(int32(v))
 			ns = ns[:0]
 			for _, w := range nb {
 				ns = append(ns, cur[w])
@@ -269,11 +277,11 @@ func (s *searchState) interchangeable(cell []graph.VertexID) bool {
 	for _, v := range cell {
 		inCell[v] = true
 	}
-	adj := s.g.HasEdge(cell[0], cell[1])
+	adj := s.f.HasEdge(int32(cell[0]), int32(cell[1]))
 	// All pairs must agree with the first pair's adjacency.
 	for i := 0; i < len(cell); i++ {
 		for j := i + 1; j < len(cell); j++ {
-			if s.g.HasEdge(cell[i], cell[j]) != adj {
+			if s.f.HasEdge(int32(cell[i]), int32(cell[j])) != adj {
 				return false
 			}
 		}
@@ -281,8 +289,8 @@ func (s *searchState) interchangeable(cell []graph.VertexID) bool {
 	// External neighbor sets must match.
 	ext := func(v graph.VertexID) string {
 		var out []int
-		for _, w := range s.g.Neighbors(v) {
-			if !inCell[w] {
+		for _, w := range s.f.Neighbors(int32(v)) {
+			if !inCell[graph.VertexID(w)] {
 				out = append(out, int(w))
 			}
 		}
@@ -321,14 +329,14 @@ func (s *searchState) encode(order []graph.VertexID) string {
 	}
 	var b strings.Builder
 	for _, v := range order {
-		b.WriteString(s.g.Label(v))
+		b.WriteString(s.f.LabelString(int32(v)))
 		b.WriteByte(';')
 	}
 	b.WriteByte('|')
 	bits := make([]byte, 0, s.n*(s.n-1)/2)
 	for i := 0; i < s.n; i++ {
 		for j := i + 1; j < s.n; j++ {
-			if s.g.HasEdge(order[i], order[j]) {
+			if s.f.HasEdge(int32(order[i]), int32(order[j])) {
 				bits = append(bits, '1')
 			} else {
 				bits = append(bits, '0')

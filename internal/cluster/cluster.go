@@ -84,6 +84,11 @@ type Config struct {
 	// bit-identical either way; the knob exists for ablation and as an
 	// escape hatch.
 	DisableSimCache bool
+	// DisableFrozenGraph routes fine-clustering similarity searches through
+	// the legacy mutable-graph MCS/MCCS implementation instead of the
+	// frozen-CSR searcher. Clustering output is bit-identical either way;
+	// the knob exists for ablation and as an escape hatch.
+	DisableFrozenGraph bool
 }
 
 func (c *Config) defaults() {
@@ -380,9 +385,10 @@ func fine(ctx context.Context, db *graph.DB, in []*Cluster, cfg Config, rng *ran
 	engine := func() *simcache.Engine {
 		if eng == nil {
 			eng = simcache.New(db.Graphs, simcache.Options{
-				Kind:   cfg.Strategy.simKind(),
-				Budget: cfg.MCSBudget,
-				Naive:  cfg.DisableSimCache,
+				Kind:          cfg.Strategy.simKind(),
+				Budget:        cfg.MCSBudget,
+				Naive:         cfg.DisableSimCache,
+				DisableFrozen: cfg.DisableFrozenGraph,
 			})
 		}
 		return eng

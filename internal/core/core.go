@@ -162,6 +162,11 @@ type Context struct {
 	coverOnce sync.Once
 	coverEng  *cover.Engine
 
+	// frozenOff routes every VF2 containment check (engine and naive paths
+	// alike) through the legacy mutable-graph matcher instead of the
+	// frozen-CSR matcher.
+	frozenOff bool
+
 	// Query-log engine, built lazily per log slice (Options.QueryLog is
 	// stable across one Select run).
 	qlogMu  sync.Mutex
@@ -225,6 +230,14 @@ func NewContextSized(db *graph.DB, csgs []*csg.CSG, effectiveSizes []float64) *C
 // use of the context.
 func (ctx *Context) DisableCoverEngine() { ctx.coverOff = true }
 
+// DisableFrozenGraph switches every containment check of this context —
+// through the coverage engine or the naive path alike — to the legacy
+// mutable-graph VF2 matcher. Selection output is bit-identical either way
+// (the frozen matcher replicates the legacy search order exactly); the
+// knob exists for ablation benchmarks and as an escape hatch. Call it
+// before the first scoring use of the context.
+func (ctx *Context) DisableFrozenGraph() { ctx.frozenOff = true }
+
 // coverEngine returns the lazily built coverage engine over the CSG summary
 // graphs, or nil when the engine is disabled.
 func (sc *Context) coverEngine() *cover.Engine {
@@ -236,7 +249,7 @@ func (sc *Context) coverEngine() *cover.Engine {
 		for i, c := range sc.CSGs {
 			hosts[i] = c.G
 		}
-		sc.coverEng = cover.New(hosts, cover.Options{})
+		sc.coverEng = cover.New(hosts, cover.Options{DisableFrozen: sc.frozenOff})
 	})
 	return sc.coverEng
 }
@@ -247,7 +260,7 @@ func (sc *Context) queryLogEngine(log []*graph.Graph) *cover.Engine {
 	sc.qlogMu.Lock()
 	defer sc.qlogMu.Unlock()
 	if sc.qlogEng == nil || !sameGraphs(sc.qlog, log) {
-		sc.qlogEng = cover.New(log, cover.Options{})
+		sc.qlogEng = cover.New(log, cover.Options{DisableFrozen: sc.frozenOff})
 		sc.qlog = log
 	}
 	return sc.qlogEng

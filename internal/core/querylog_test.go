@@ -13,7 +13,7 @@ func TestQueryLogFrequency(t *testing.T) {
 		pathGraph("C", "C", "C", "C"), // contains p
 		pathGraph("N", "O", "S"),      // does not
 	}
-	got, err := queryLogFrequency(context.Background(), p, log)
+	got, err := queryLogFrequency(context.Background(), p, log, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestSelectWithQueryLogPrefersLoggedStructures(t *testing.T) {
 	}
 	// The winner should be usable for the logged queries: it embeds in at
 	// least one log query.
-	qf, err := queryLogFrequency(context.Background(), with.Patterns[0].Graph, log)
+	qf, err := queryLogFrequency(context.Background(), with.Patterns[0].Graph, log, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,6 +18,16 @@ func (ctx *Context) CCov(p *graph.Graph) float64 {
 	return v
 }
 
+// containsCtx picks the VF2 implementation for the naive containment
+// paths: frozen-CSR by default, the legacy mutable-graph matcher when
+// DisableFrozenGraph was called.
+func (sc *Context) containsCtx(stdctx context.Context, host, p *graph.Graph) (bool, error) {
+	if sc.frozenOff {
+		return subiso.ContainsLegacyCtx(stdctx, host, p)
+	}
+	return subiso.ContainsCtx(stdctx, host, p)
+}
+
 // ccovCtx is CCov with cooperative cancellation. Containment runs through
 // the coverage engine (memoized, index-pruned, parallel) unless the engine
 // is disabled, in which case each live CSG is tested sequentially with VF2.
@@ -42,7 +52,7 @@ func (sc *Context) ccovCtx(stdctx context.Context, p *graph.Graph) (float64, err
 		if sc.cw[i] <= 0 {
 			continue
 		}
-		ok, err := subiso.ContainsCtx(stdctx, c.G, p)
+		ok, err := sc.containsCtx(stdctx, c.G, p)
 		if err != nil {
 			return 0, err
 		}
@@ -151,7 +161,7 @@ func (sc *Context) scoreWithCtx(stdctx context.Context, p *graph.Graph, selected
 // the engine is disabled).
 func (sc *Context) queryLogFrequencyCtx(stdctx context.Context, p *graph.Graph, log []*graph.Graph) (float64, error) {
 	if sc.coverOff {
-		return queryLogFrequency(stdctx, p, log)
+		return queryLogFrequency(stdctx, p, log, sc.frozenOff)
 	}
 	hits, err := sc.queryLogEngine(log).Count(stdctx, p)
 	if err != nil {
@@ -160,11 +170,16 @@ func (sc *Context) queryLogFrequencyCtx(stdctx context.Context, p *graph.Graph, 
 	return float64(hits) / float64(len(log)), nil
 }
 
-// queryLogFrequency is the naive oracle for queryLogFrequencyCtx.
-func queryLogFrequency(stdctx context.Context, p *graph.Graph, log []*graph.Graph) (float64, error) {
+// queryLogFrequency is the naive oracle for queryLogFrequencyCtx; legacy
+// selects the mutable-graph VF2 matcher over the frozen default.
+func queryLogFrequency(stdctx context.Context, p *graph.Graph, log []*graph.Graph, legacy bool) (float64, error) {
+	contains := subiso.ContainsCtx
+	if legacy {
+		contains = subiso.ContainsLegacyCtx
+	}
 	hits := 0
 	for _, q := range log {
-		ok, err := subiso.ContainsCtx(stdctx, q, p)
+		ok, err := contains(stdctx, q, p)
 		if err != nil {
 			return 0, err
 		}
@@ -203,7 +218,7 @@ func (sc *Context) updateWeightsCtx(stdctx context.Context, p *graph.Graph) erro
 			if sc.cw[i] <= 0 {
 				continue
 			}
-			ok, err := subiso.ContainsCtx(stdctx, c.G, p)
+			ok, err := sc.containsCtx(stdctx, c.G, p)
 			if err != nil {
 				return err
 			}

@@ -55,6 +55,12 @@ type CSG struct {
 	EdgeGraphs map[graph.Edge]IDSet
 	// Members are the data-graph IDs summarized by this CSG.
 	Members []int
+
+	// labels holds the interned label of each closure vertex, parallel to
+	// G's vertex set, so greedy mapping compares label IDs instead of
+	// strings (the closure itself stays mutable while it grows, so it
+	// cannot be frozen between merges).
+	labels []graph.LabelID
 }
 
 // Build summarizes the given member graphs (indices into db) into a CSG.
@@ -117,12 +123,14 @@ func BuildCtx(ctx context.Context, db *graph.DB, members []int) (*CSG, error) {
 
 // merge integrates data graph g (with database index id) into the closure.
 func (c *CSG) merge(g *graph.Graph, id int) {
-	mapping := c.greedyMapping(g)
+	f := g.Freeze()
+	mapping := c.greedyMapping(f)
 	// Create closure vertices for unmapped data vertices.
 	for v := 0; v < g.NumVertices(); v++ {
 		if mapping[v] < 0 {
 			nv := c.G.AddVertex(g.Label(graph.VertexID(v)))
 			c.VertexGraphs = append(c.VertexGraphs, IDSet{})
+			c.labels = append(c.labels, f.Label(int32(v)))
 			mapping[v] = nv
 		}
 		c.VertexGraphs[mapping[v]].Add(id)
@@ -139,11 +147,12 @@ func (c *CSG) merge(g *graph.Graph, id int) {
 	}
 }
 
-// greedyMapping maps vertices of g onto existing closure vertices: pairs
-// must agree on labels, the mapping is injective, and pairs are chosen to
-// maximize the number of shared edges. Returns -1 for unmapped vertices.
-func (c *CSG) greedyMapping(g *graph.Graph) []graph.VertexID {
-	n := g.NumVertices()
+// greedyMapping maps vertices of f (a frozen member graph) onto existing
+// closure vertices: pairs must agree on labels (compared as interned IDs),
+// the mapping is injective, and pairs are chosen to maximize the number of
+// shared edges. Returns -1 for unmapped vertices.
+func (c *CSG) greedyMapping(f *graph.Frozen) []graph.VertexID {
+	n := f.NumVertices()
 	mapping := make([]graph.VertexID, n)
 	for i := range mapping {
 		mapping[i] = -1
@@ -158,7 +167,7 @@ func (c *CSG) greedyMapping(g *graph.Graph) []graph.VertexID {
 	var pairs []pair
 	for gv := 0; gv < n; gv++ {
 		for sv := 0; sv < c.G.NumVertices(); sv++ {
-			if g.Label(graph.VertexID(gv)) == c.G.Label(graph.VertexID(sv)) {
+			if f.Label(int32(gv)) == c.labels[sv] {
 				pairs = append(pairs, pair{graph.VertexID(gv), graph.VertexID(sv)})
 			}
 		}
@@ -169,7 +178,7 @@ func (c *CSG) greedyMapping(g *graph.Graph) []graph.VertexID {
 
 	gain := func(p pair) int {
 		t := 0
-		for _, gw := range g.Neighbors(p.gv) {
+		for _, gw := range f.Neighbors(int32(p.gv)) {
 			if img := mapping[gw]; img >= 0 && c.G.HasEdge(p.sv, img) {
 				t++
 			}
@@ -181,7 +190,7 @@ func (c *CSG) greedyMapping(g *graph.Graph) []graph.VertexID {
 	best := pairs[0]
 	bestScore := -1
 	for _, p := range pairs {
-		s := g.Degree(p.gv) * c.G.Degree(p.sv)
+		s := int(f.Degree(int32(p.gv))) * c.G.Degree(p.sv)
 		if s > bestScore || (s == bestScore && (p.gv < best.gv || (p.gv == best.gv && p.sv < best.sv))) {
 			best, bestScore = p, s
 		}

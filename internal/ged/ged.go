@@ -39,17 +39,23 @@ import (
 func LowerBound(a, b *graph.Graph) int {
 	na, nb := a.NumVertices(), b.NumVertices()
 	ea, eb := a.NumEdges(), b.NumEdges()
-	inter := multisetIntersection(a.VertexLabels(), b.VertexLabels())
+	inter := multisetIntersectionID(a.Freeze().LabelCounts(), b.Freeze().LabelCounts())
 	vPart := absInt(na-nb) + minInt(na, nb) - inter
 	ePart := absInt(ea - eb)
 	return vPart + ePart
 }
 
-func multisetIntersection(a, b map[string]int) int {
+// multisetIntersectionID sizes the intersection of two LabelID multisets.
+// Label comparisons throughout this package are pure equality tests, so
+// interned IDs give the same answers as strings.
+func multisetIntersectionID(a, b map[graph.LabelID]int32) int {
 	total := 0
 	for l, ca := range a {
 		if cb, ok := b[l]; ok {
-			total += minInt(ca, cb)
+			if cb < ca {
+				ca = cb
+			}
+			total += int(ca)
 		}
 	}
 	return total
@@ -173,6 +179,7 @@ func MinDistanceCtx(ctx context.Context, p *graph.Graph, ps []*graph.Graph) (min
 // The returned slice maps each vertex of a to a vertex of b, or -1 for
 // deletion.
 func bipartiteAssignment(a, b *graph.Graph) []graph.VertexID {
+	fa, fb := a.Freeze(), b.Freeze()
 	na, nb := a.NumVertices(), b.NumVertices()
 	n := na + nb
 	const inf = 1 << 30
@@ -183,11 +190,11 @@ func bipartiteAssignment(a, b *graph.Graph) []graph.VertexID {
 	for i := 0; i < na; i++ {
 		for j := 0; j < nb; j++ {
 			c := 0
-			if a.Label(graph.VertexID(i)) != b.Label(graph.VertexID(j)) {
+			if fa.Label(int32(i)) != fb.Label(int32(j)) {
 				c = 1
 			}
 			// Local edge structure: at least |deg difference| edge edits.
-			c += absInt(a.Degree(graph.VertexID(i)) - b.Degree(graph.VertexID(j)))
+			c += absInt(int(fa.Degree(int32(i))) - int(fb.Degree(int32(j))))
 			cost[i][j] = c
 		}
 	}
@@ -195,7 +202,7 @@ func bipartiteAssignment(a, b *graph.Graph) []graph.VertexID {
 	for i := 0; i < na; i++ {
 		for j := 0; j < na; j++ {
 			if i == j {
-				cost[i][nb+j] = 1 + a.Degree(graph.VertexID(i))
+				cost[i][nb+j] = 1 + int(fa.Degree(int32(i)))
 			} else {
 				cost[i][nb+j] = inf
 			}
@@ -205,7 +212,7 @@ func bipartiteAssignment(a, b *graph.Graph) []graph.VertexID {
 	for i := 0; i < nb; i++ {
 		for j := 0; j < nb; j++ {
 			if i == j {
-				cost[na+i][j] = 1 + b.Degree(graph.VertexID(j))
+				cost[na+i][j] = 1 + int(fb.Degree(int32(j)))
 			} else {
 				cost[na+i][j] = inf
 			}
@@ -227,6 +234,7 @@ func bipartiteAssignment(a, b *graph.Graph) []graph.VertexID {
 // inducedCost computes the exact edit cost of applying the given vertex
 // mapping (a -> b or -1 for delete; unmatched b vertices are inserted).
 func inducedCost(a, b *graph.Graph, mapping []graph.VertexID) int {
+	fa, fb := a.Freeze(), b.Freeze()
 	cost := 0
 	matchedB := make([]bool, b.NumVertices())
 	for i, bj := range mapping {
@@ -235,7 +243,7 @@ func inducedCost(a, b *graph.Graph, mapping []graph.VertexID) int {
 			continue
 		}
 		matchedB[bj] = true
-		if a.Label(graph.VertexID(i)) != b.Label(bj) {
+		if fa.Label(int32(i)) != fb.Label(int32(bj)) {
 			cost++ // relabel
 		}
 	}
@@ -247,7 +255,7 @@ func inducedCost(a, b *graph.Graph, mapping []graph.VertexID) int {
 	// Edge deletions / matches: edges of a.
 	for _, e := range a.Edges() {
 		bu, bv := mapping[e.U], mapping[e.V]
-		if bu < 0 || bv < 0 || !b.HasEdge(bu, bv) {
+		if bu < 0 || bv < 0 || !fb.HasEdge(int32(bu), int32(bv)) {
 			cost++ // edge deleted (or re-created later as insertion? no:
 			// an a-edge with no image edge is exactly one deletion)
 		}
@@ -264,7 +272,7 @@ func inducedCost(a, b *graph.Graph, mapping []graph.VertexID) int {
 	}
 	for _, e := range b.Edges() {
 		au, av := inv[e.U], inv[e.V]
-		if au < 0 || av < 0 || !a.HasEdge(au, av) {
+		if au < 0 || av < 0 || !fa.HasEdge(int32(au), int32(av)) {
 			cost++
 		}
 	}
@@ -423,6 +431,7 @@ func astar(a, b *graph.Graph, budget int) (int, bool) {
 // extend creates the child node for mapping ai -> bj (or deletion if
 // bj < 0), computing the incremental cost.
 func extend(a, b *graph.Graph, parent *astarNode, ai, bj graph.VertexID) *astarNode {
+	fa, fb := a.Freeze(), b.Freeze()
 	delta := 0
 	if bj < 0 {
 		delta++ // vertex deletion
@@ -432,13 +441,13 @@ func extend(a, b *graph.Graph, parent *astarNode, ai, bj graph.VertexID) *astarN
 			}
 		}
 	} else {
-		if a.Label(ai) != b.Label(bj) {
+		if fa.Label(int32(ai)) != fb.Label(int32(bj)) {
 			delta++
 		}
 		for _, an := range a.Neighbors(ai) {
 			if int(an) < parent.depth {
 				img := parent.mapping[an]
-				if img < 0 || !b.HasEdge(bj, img) {
+				if img < 0 || !fb.HasEdge(int32(bj), int32(img)) {
 					delta++ // a-edge deleted
 				}
 			}
@@ -447,7 +456,7 @@ func extend(a, b *graph.Graph, parent *astarNode, ai, bj graph.VertexID) *astarN
 		// insertions.
 		for _, prevA := range decided(parent) {
 			img := parent.mapping[prevA]
-			if img >= 0 && b.HasEdge(bj, img) && !a.HasEdge(ai, prevA) {
+			if img >= 0 && fb.HasEdge(int32(bj), int32(img)) && !fa.HasEdge(int32(ai), int32(prevA)) {
 				delta++
 			}
 		}
@@ -501,30 +510,31 @@ func completionCost(a, b *graph.Graph, mapping []graph.VertexID) int {
 // b-vertices (each mismatch costs at least one relabel/insert/delete).
 // Edge costs are not estimated (0 is admissible).
 func heuristic(a, b *graph.Graph, mapping []graph.VertexID) int {
+	fa, fb := a.Freeze(), b.Freeze()
 	depth := len(mapping)
-	remA := make(map[string]int)
-	for i := depth; i < a.NumVertices(); i++ {
-		remA[a.Label(graph.VertexID(i))]++
+	remA := make(map[graph.LabelID]int32)
+	for i := depth; i < fa.NumVertices(); i++ {
+		remA[fa.Label(int32(i))]++
 	}
-	remB := make(map[string]int)
+	remB := make(map[graph.LabelID]int32)
 	matched := make(map[graph.VertexID]bool, depth)
 	for _, bj := range mapping {
 		if bj >= 0 {
 			matched[bj] = true
 		}
 	}
-	for j := 0; j < b.NumVertices(); j++ {
+	for j := 0; j < fb.NumVertices(); j++ {
 		if !matched[graph.VertexID(j)] {
-			remB[b.Label(graph.VertexID(j))]++
+			remB[fb.Label(int32(j))]++
 		}
 	}
 	nA, nB := 0, 0
 	for _, c := range remA {
-		nA += c
+		nA += int(c)
 	}
 	for _, c := range remB {
-		nB += c
+		nB += int(c)
 	}
-	inter := multisetIntersection(remA, remB)
+	inter := multisetIntersectionID(remA, remB)
 	return absInt(nA-nB) + minInt(nA, nB) - inter
 }

@@ -10,17 +10,21 @@
 // subgraph occurs in its supergraphs), and effective on labeled molecule-
 // like graphs.
 //
-// Features are stored as uint64 keys whenever the label vocabulary and
-// path length fit: labels are interned into small integer IDs at build
-// time and a path packs its IDs into one word, which avoids the string
-// allocation that otherwise dominates index construction. Databases with
-// huge vocabularies or deep paths fall back to string features.
+// Labels are resolved through the process-wide graph.Interner and remapped
+// to dense 1-based local IDs in first-occurrence order over the database,
+// so feature encodings are a pure function of the database content,
+// independent of interning history elsewhere in the process. A single DFS
+// enumerates every simple path as its local-ID sequence; when the
+// vocabulary and path length fit, a path packs its IDs into one uint64
+// key, which avoids the string allocation that otherwise dominates index
+// construction. Databases with huge vocabularies or deep paths key the
+// same ID sequences by their fixed-width byte encoding instead.
 package gindex
 
 import (
+	"encoding/binary"
 	"math/bits"
 	"sort"
-	"strings"
 
 	"repro/internal/bitset"
 	"repro/internal/graph"
@@ -35,16 +39,23 @@ type Index struct {
 	db         *graph.DB
 	maxPathLen int
 
-	// Packed mode (labelBits > 0): labels are interned to 1-based IDs and a
-	// path feature is its IDs packed big-endian into a uint64, taking the
-	// smaller packing of the two path directions. Leading IDs are nonzero,
-	// so paths of different lengths never collide.
+	// in resolves global label IDs back to strings (persistence); local
+	// remaps global IDs to dense 1-based local IDs assigned in first-
+	// occurrence order over the database. A local ID of 0 never occurs, so
+	// packed paths of different lengths cannot collide.
+	in    *graph.Interner
+	local map[graph.LabelID]uint64
+
+	// Packed mode (labelBits > 0): a path feature is its local IDs packed
+	// big-endian into a uint64, taking the smaller packing of the two path
+	// directions.
 	labelBits uint
-	labelIDs  map[string]uint64
 	postings  map[uint64]*bitset.Set
 
-	// Fallback mode (labelBits == 0): features are canonical label strings.
-	strPostings map[string]*bitset.Set
+	// Wide mode (labelBits == 0): the same local-ID sequences, keyed by
+	// their fixed-width big-endian byte encoding (again the smaller of the
+	// two directions) when they cannot fit one word.
+	wide map[string]*bitset.Set
 }
 
 // Options configures index construction.
@@ -59,29 +70,28 @@ func Build(db *graph.DB, opts Options) *Index {
 	if maxLen <= 0 {
 		maxLen = DefaultMaxPathLen
 	}
-	idx := &Index{db: db, maxPathLen: maxLen}
-
-	ids := make(map[string]uint64)
+	idx := &Index{
+		db:         db,
+		maxPathLen: maxLen,
+		in:         graph.SharedInterner(),
+		local:      make(map[graph.LabelID]uint64),
+	}
 	for _, g := range db.Graphs {
-		for v := 0; v < g.NumVertices(); v++ {
-			l := g.Label(graph.VertexID(v))
-			if _, ok := ids[l]; !ok {
-				ids[l] = uint64(len(ids) + 1)
+		f := g.Freeze()
+		for v := 0; v < f.NumVertices(); v++ {
+			lid := f.Label(int32(v))
+			if _, ok := idx.local[lid]; !ok {
+				idx.local[lid] = uint64(len(idx.local) + 1)
 			}
 		}
 	}
-	b := uint(bits.Len(uint(len(ids))))
-	if b == 0 {
-		b = 1
-	}
-	if uint(maxLen+1)*b <= 64 {
-		idx.labelBits = b
-		idx.labelIDs = ids
+	idx.finalizeMode()
+	if idx.labelBits > 0 {
 		idx.postings = make(map[uint64]*bitset.Set)
 		feats := make(map[uint64]struct{})
 		for gi, g := range db.Graphs {
 			clear(feats)
-			idx.packedFeatures(g, feats)
+			idx.packedFeatures(g.Freeze(), feats)
 			for f := range feats {
 				s, ok := idx.postings[f]
 				if !ok {
@@ -92,13 +102,16 @@ func Build(db *graph.DB, opts Options) *Index {
 			}
 		}
 	} else {
-		idx.strPostings = make(map[string]*bitset.Set)
+		idx.wide = make(map[string]*bitset.Set)
+		feats := make(map[string]struct{})
 		for gi, g := range db.Graphs {
-			for f := range pathFeatures(g, maxLen) {
-				s, ok := idx.strPostings[f]
+			clear(feats)
+			idx.wideFeatures(g.Freeze(), feats)
+			for f := range feats {
+				s, ok := idx.wide[f]
 				if !ok {
 					s = bitset.New(db.Len())
-					idx.strPostings[f] = s
+					idx.wide[f] = s
 				}
 				s.Add(gi)
 			}
@@ -107,138 +120,160 @@ func Build(db *graph.DB, opts Options) *Index {
 	return idx
 }
 
-// NumFeatures returns the number of distinct indexed features.
-func (idx *Index) NumFeatures() int {
-	return len(idx.postings) + len(idx.strPostings)
+// finalizeMode picks packed or wide keying from the local vocabulary size
+// and the maximum path length.
+func (idx *Index) finalizeMode() {
+	b := uint(bits.Len(uint(len(idx.local))))
+	if b == 0 {
+		b = 1
+	}
+	if uint(idx.maxPathLen+1)*b <= 64 {
+		idx.labelBits = b
+	} else {
+		idx.labelBits = 0
+	}
 }
 
-// packedFeatures enumerates the packed features of all simple paths of
-// length 0..maxPathLen edges in g into out. It returns false (with out in
-// an unspecified state) when g has a label absent from the index's
-// vocabulary — such a graph cannot be contained in any indexed graph.
-func (idx *Index) packedFeatures(g *graph.Graph, out map[uint64]struct{}) bool {
-	n := g.NumVertices()
+// NumFeatures returns the number of distinct indexed features.
+func (idx *Index) NumFeatures() int {
+	return len(idx.postings) + len(idx.wide)
+}
+
+// pathIDs enumerates the local-ID sequences of all simple paths of length
+// 0..maxPathLen edges in f, invoking emit with a scratch slice valid only
+// for the duration of the call. It returns false (possibly after partial
+// emission) when f has a label absent from the index's vocabulary — such
+// a graph cannot be contained in any indexed graph.
+func (idx *Index) pathIDs(f *graph.Frozen, emit func(ids []uint64)) bool {
+	n := f.NumVertices()
 	labels := make([]uint64, n)
 	for v := 0; v < n; v++ {
-		id, ok := idx.labelIDs[g.Label(graph.VertexID(v))]
+		id, ok := idx.local[f.Label(int32(v))]
 		if !ok {
 			return false
 		}
 		labels[v] = id
 	}
 	visited := make([]bool, n)
-	b := idx.labelBits
-	// fwd and rev hold the current path's IDs packed in both directions,
-	// maintained incrementally; the feature is the smaller of the two.
-	var fwd, rev uint64
-	var dfs func(v graph.VertexID, depth int)
-	dfs = func(v graph.VertexID, depth int) {
-		oldFwd, oldRev := fwd, rev
-		id := labels[v]
-		fwd = fwd<<b | id
-		rev = rev | id<<(uint(depth)*b)
-		f := fwd
-		if rev < f {
-			f = rev
-		}
-		out[f] = struct{}{}
+	ids := make([]uint64, 0, idx.maxPathLen+1)
+	var dfs func(v int32, depth int)
+	dfs = func(v int32, depth int) {
+		ids = append(ids, labels[v])
+		emit(ids)
 		visited[v] = true
 		if depth < idx.maxPathLen {
-			for _, w := range g.Neighbors(v) {
+			for _, w := range f.Neighbors(v) {
 				if !visited[w] {
 					dfs(w, depth+1)
 				}
 			}
 		}
 		visited[v] = false
-		fwd, rev = oldFwd, oldRev
+		ids = ids[:len(ids)-1]
 	}
 	for v := 0; v < n; v++ {
-		dfs(graph.VertexID(v), 0)
+		dfs(int32(v), 0)
 	}
 	return true
 }
 
-// pathFeatures enumerates the canonical label strings of all simple paths
-// of length 0..maxLen edges in g (fallback mode). A path's canonical
-// string is the lexicographically smaller of its two directions, so
-// features are orientation independent.
-func pathFeatures(g *graph.Graph, maxLen int) map[string]struct{} {
-	out := make(map[string]struct{})
-	n := g.NumVertices()
-	var labels []string
+// packedFeatures collects the packed uint64 features of f into out. The
+// reported ok mirrors pathIDs. Instead of reusing pathIDs, the DFS carries
+// both directional packings incrementally — extending a path by one vertex
+// updates fwd/rev in O(1) rather than re-walking the ID sequence — since
+// this loop dominates index construction.
+func (idx *Index) packedFeatures(f *graph.Frozen, out map[uint64]struct{}) bool {
+	n := f.NumVertices()
+	labels := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		id, ok := idx.local[f.Label(int32(v))]
+		if !ok {
+			return false
+		}
+		labels[v] = id
+	}
+	b := idx.labelBits
 	visited := make([]bool, n)
-
-	var dfs func(v graph.VertexID, depth int)
-	dfs = func(v graph.VertexID, depth int) {
-		labels = append(labels, g.Label(v))
+	var dfs func(v int32, depth int, fwd, rev uint64)
+	dfs = func(v int32, depth int, fwd, rev uint64) {
+		fwd = fwd<<b | labels[v]
+		rev |= labels[v] << (uint(depth) * b)
+		if rev < fwd {
+			out[rev] = struct{}{}
+		} else {
+			out[fwd] = struct{}{}
+		}
 		visited[v] = true
-		out[canonicalPath(labels)] = struct{}{}
-		if depth < maxLen {
-			for _, w := range g.Neighbors(v) {
+		if depth < idx.maxPathLen {
+			for _, w := range f.Neighbors(v) {
 				if !visited[w] {
-					dfs(w, depth+1)
+					dfs(w, depth+1, fwd, rev)
 				}
 			}
 		}
 		visited[v] = false
-		labels = labels[:len(labels)-1]
 	}
 	for v := 0; v < n; v++ {
-		dfs(graph.VertexID(v), 0)
+		dfs(int32(v), 0, 0, 0)
 	}
-	return out
+	return true
 }
 
-// canonicalPath returns min(fwd, rev) of the label sequence joined by "/".
-func canonicalPath(labels []string) string {
-	fwd := strings.Join(labels, "/")
-	rev := make([]string, len(labels))
-	for i, l := range labels {
-		rev[len(labels)-1-i] = l
-	}
-	bwd := strings.Join(rev, "/")
-	if bwd < fwd {
-		return bwd
-	}
-	return fwd
+// wideFeatures collects the byte-string features of f into out (wide
+// mode). Fixed-width encoding makes byte comparison agree with ID-sequence
+// comparison, so min(fwd, rev) canonicalizes direction just as in packed
+// mode.
+func (idx *Index) wideFeatures(f *graph.Frozen, out map[string]struct{}) bool {
+	var fwd, rev []byte
+	return idx.pathIDs(f, func(ids []uint64) {
+		fwd, rev = fwd[:0], rev[:0]
+		for i := range ids {
+			fwd = binary.BigEndian.AppendUint32(fwd, uint32(ids[i]))
+			rev = binary.BigEndian.AppendUint32(rev, uint32(ids[len(ids)-1-i]))
+		}
+		if string(rev) < string(fwd) {
+			out[string(rev)] = struct{}{}
+		} else {
+			out[string(fwd)] = struct{}{}
+		}
+	})
 }
 
 // Candidates returns the indices of data graphs that pass the feature
 // filter for query q (a superset of the true answer set).
 func (idx *Index) Candidates(q *graph.Graph) []int {
+	f := q.Freeze()
 	var acc *bitset.Set
+	intersect := func(s *bitset.Set, ok bool) bool {
+		if !ok {
+			return false // a query feature absent from every graph
+		}
+		if acc == nil {
+			acc = s.Clone()
+		} else {
+			acc.IntersectWith(s)
+		}
+		return acc.Count() > 0
+	}
 	if idx.labelBits > 0 {
 		feats := make(map[uint64]struct{})
-		if !idx.packedFeatures(q, feats) {
+		if !idx.packedFeatures(f, feats) {
 			return nil // a query label absent from every graph: no answers
 		}
-		for f := range feats {
-			s, ok := idx.postings[f]
-			if !ok {
-				return nil // a query feature absent from every graph
-			}
-			if acc == nil {
-				acc = s.Clone()
-			} else {
-				acc.IntersectWith(s)
-			}
-			if acc.Count() == 0 {
+		for ft := range feats {
+			s, ok := idx.postings[ft]
+			if !intersect(s, ok) {
 				return nil
 			}
 		}
 	} else {
-		for f := range pathFeatures(q, idx.maxPathLen) {
-			s, ok := idx.strPostings[f]
-			if !ok {
-				return nil
-			}
-			if acc == nil {
-				acc = s.Clone()
-			} else {
-				acc.IntersectWith(s)
-			}
-			if acc.Count() == 0 {
+		feats := make(map[string]struct{})
+		if !idx.wideFeatures(f, feats) {
+			return nil
+		}
+		for ft := range feats {
+			s, ok := idx.wide[ft]
+			if !intersect(s, ok) {
 				return nil
 			}
 		}

@@ -42,10 +42,19 @@ func TestPathFeaturesAntiMonotone(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	g := dataset.AIDSLike(1, 5).Graph(0)
 	sub := graph.RandomConnectedSubgraph(g, 5, rng)
-	gf := pathFeatures(g, 3)
-	for f := range pathFeatures(sub, 3) {
+	idx := Build(graph.NewDB("am", []*graph.Graph{g}), Options{})
+	if idx.labelBits == 0 {
+		t.Fatal("expected packed mode for a single molecule-like graph")
+	}
+	gf := make(map[uint64]struct{})
+	sf := make(map[uint64]struct{})
+	idx.packedFeatures(g.Freeze(), gf)
+	if !idx.packedFeatures(sub.Freeze(), sf) {
+		t.Fatal("subgraph uses a label absent from its supergraph")
+	}
+	for f := range sf {
 		if _, ok := gf[f]; !ok {
-			t.Errorf("subgraph feature %q missing from supergraph", f)
+			t.Errorf("subgraph feature %#x missing from supergraph", f)
 		}
 	}
 }

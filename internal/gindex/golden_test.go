@@ -1,0 +1,221 @@
+package gindex
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/subiso"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// legacyReferenceSave reproduces the persist output of the original
+// string-keyed index implementation: features are canonical label-path
+// strings enumerated by a string DFS, written in sorted order. The live
+// implementation keys features by interned IDs, so byte-identity against
+// this reference proves the representation change is invisible on disk.
+func legacyReferenceSave(db *graph.DB, maxLen int) []byte {
+	postings := make(map[string]*bitset.Set)
+	for gi, g := range db.Graphs {
+		for f := range legacyPathFeatures(g, maxLen) {
+			s, ok := postings[f]
+			if !ok {
+				s = bitset.New(db.Len())
+				postings[f] = s
+			}
+			s.Add(gi)
+		}
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "gindex %d %d %d\n", persistVersion, maxLen, db.Len())
+	features := make([]string, 0, len(postings))
+	for f := range postings {
+		features = append(features, f)
+	}
+	sort.Strings(features)
+	for _, f := range features {
+		fmt.Fprintf(&buf, "f %s", f)
+		for _, id := range postings[f].Elements() {
+			fmt.Fprintf(&buf, " %d", id)
+		}
+		fmt.Fprintln(&buf)
+	}
+	return buf.Bytes()
+}
+
+// legacyPathFeatures is the original string-mode feature enumeration:
+// canonical label strings of all simple paths of length 0..maxLen edges.
+func legacyPathFeatures(g *graph.Graph, maxLen int) map[string]struct{} {
+	out := make(map[string]struct{})
+	n := g.NumVertices()
+	var labels []string
+	visited := make([]bool, n)
+	var dfs func(v graph.VertexID, depth int)
+	dfs = func(v graph.VertexID, depth int) {
+		labels = append(labels, g.Label(v))
+		visited[v] = true
+		out[canonicalPath(labels)] = struct{}{}
+		if depth < maxLen {
+			for _, w := range g.Neighbors(v) {
+				if !visited[w] {
+					dfs(w, depth+1)
+				}
+			}
+		}
+		visited[v] = false
+		labels = labels[:len(labels)-1]
+	}
+	for v := 0; v < n; v++ {
+		dfs(graph.VertexID(v), 0)
+	}
+	return out
+}
+
+func wideDB() *graph.DB {
+	return graph.NewDB("wide", []*graph.Graph{
+		pathGraph("C", "O", "N", "S", "P", "Cl"),
+		pathGraph("C", "C", "O", "O", "N"),
+		pathGraph("S", "P", "S", "P"),
+		pathGraph("Cl", "N", "O", "C", "S"),
+	})
+}
+
+// TestSaveMatchesLegacyReference proves the persist format survived the
+// move from private string interning to the shared graph.Interner: the
+// live Save output is byte-identical to the legacy string-keyed
+// implementation, in both packed and wide keying modes.
+func TestSaveMatchesLegacyReference(t *testing.T) {
+	cases := []struct {
+		name   string
+		db     *graph.DB
+		maxLen int
+	}{
+		{"packed-small", testDB(), 3},
+		{"packed-emol", dataset.EMolLike(12, 21), 2},
+		{"packed-aids", dataset.AIDSLike(15, 7), 3},
+		// MaxPathLen 21 with a ≥4-label vocabulary needs 22×3 = 66 bits,
+		// forcing the wide byte-string keying.
+		{"wide-paths", wideDB(), 21},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			idx := Build(tc.db, Options{MaxPathLen: tc.maxLen})
+			if strings.HasPrefix(tc.name, "wide") != (idx.labelBits == 0) {
+				t.Fatalf("unexpected keying mode: labelBits=%d", idx.labelBits)
+			}
+			var got bytes.Buffer
+			if err := idx.Save(&got); err != nil {
+				t.Fatal(err)
+			}
+			want := legacyReferenceSave(tc.db, tc.maxLen)
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Fatalf("save output diverges from legacy string-mode reference\n got: %d bytes\nwant: %d bytes\nfirst lines got:  %.200s\nfirst lines want: %.200s",
+					got.Len(), len(want), got.String(), want)
+			}
+		})
+	}
+}
+
+// TestSaveGoldenFile pins the persist bytes against a committed golden
+// file, so any future format drift fails loudly rather than silently
+// invalidating saved indexes. Regenerate with: go test ./internal/gindex -run Golden -update
+func TestSaveGoldenFile(t *testing.T) {
+	db := dataset.EMolLike(12, 21)
+	idx := Build(db, Options{MaxPathLen: 2})
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "emollike_12_21.gindex")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("persist output drifted from golden file %s (%d vs %d bytes); regenerate with -update only if the change is intentional",
+			path, buf.Len(), len(want))
+	}
+	// A loaded index must re-save byte-identically (load→save fixpoint).
+	back, err := Load(bytes.NewReader(want), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := back.Save(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), want) {
+		t.Fatal("load→save round trip is not byte-identical")
+	}
+}
+
+// TestWideModeSearchExact exercises the wide (byte-string) keying end to
+// end: candidates stay a superset and Search matches brute force.
+func TestWideModeSearchExact(t *testing.T) {
+	db := wideDB()
+	idx := Build(db, Options{MaxPathLen: 21})
+	if idx.labelBits != 0 {
+		t.Fatal("expected wide mode")
+	}
+	queries := []*graph.Graph{
+		pathGraph("C", "O"),
+		pathGraph("S", "P", "S"),
+		pathGraph("O", "N"),
+		pathGraph("Zn"), // unknown label: no candidates
+	}
+	for qi, q := range queries {
+		var want []int
+		for gi, g := range db.Graphs {
+			if subiso.Contains(g, q) {
+				want = append(want, gi)
+			}
+		}
+		res := idx.Search(q)
+		got := make([]int, len(res))
+		for i, r := range res {
+			got[i] = r.GraphIndex
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("query %d: search = %v, want %v", qi, got, want)
+		}
+	}
+	if got := len(idx.Candidates(graph.New(0, 0))); got != db.Len() {
+		t.Errorf("empty query candidates = %d, want %d", got, db.Len())
+	}
+	// Wide round trip: save, load, identical answers and bytes.
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.labelBits != 0 {
+		t.Fatal("loaded index should rebuild in wide mode")
+	}
+	var again bytes.Buffer
+	if err := back.Save(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("wide-mode load→save round trip is not byte-identical")
+	}
+}

@@ -2,6 +2,7 @@ package gindex
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sort"
@@ -24,10 +25,10 @@ import (
 
 const persistVersion = 1
 
-// Save writes the index postings to w. Packed-mode features are decoded
-// back to their canonical label strings, so the format is independent of
-// the in-memory representation (a decoded packed index saves byte-
-// identically to a string-mode one: the label↔ID mapping is a bijection
+// Save writes the index postings to w. Features are decoded from their
+// in-memory ID encoding back to canonical label strings, so the format is
+// independent of the in-memory representation (and unchanged from earlier
+// string-keyed builds of this package: the label↔ID mapping is a bijection
 // and canonicalPath normalizes direction either way).
 func (idx *Index) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
@@ -60,29 +61,50 @@ func (idx *Index) Save(w io.Writer) error {
 }
 
 // stringPostings returns the postings keyed by canonical label strings,
-// decoding packed features when necessary.
+// decoding the packed or wide ID encoding through the shared interner.
 func (idx *Index) stringPostings() map[string]*bitset.Set {
-	if idx.labelBits == 0 {
-		return idx.strPostings
+	rev := make(map[uint64]string, len(idx.local))
+	for lid, id := range idx.local {
+		rev[id] = idx.in.LabelString(lid)
 	}
-	rev := make(map[uint64]string, len(idx.labelIDs))
-	for l, id := range idx.labelIDs {
-		rev[id] = l
-	}
-	out := make(map[string]*bitset.Set, len(idx.postings))
-	mask := uint64(1)<<idx.labelBits - 1
-	for f, s := range idx.postings {
-		var ids []uint64
-		for ; f != 0; f >>= idx.labelBits {
-			ids = append(ids, f&mask)
+	out := make(map[string]*bitset.Set, idx.NumFeatures())
+	if idx.labelBits > 0 {
+		mask := uint64(1)<<idx.labelBits - 1
+		for f, s := range idx.postings {
+			var ids []uint64
+			for ; f != 0; f >>= idx.labelBits {
+				ids = append(ids, f&mask)
+			}
+			labels := make([]string, len(ids)) // ids peel off back-to-front
+			for i, id := range ids {
+				labels[len(ids)-1-i] = rev[id]
+			}
+			out[canonicalPath(labels)] = s
 		}
-		labels := make([]string, len(ids)) // ids peel off back-to-front
-		for i, id := range ids {
-			labels[len(ids)-1-i] = rev[id]
+	} else {
+		for f, s := range idx.wide {
+			labels := make([]string, len(f)/4)
+			for i := range labels {
+				labels[i] = rev[uint64(binary.BigEndian.Uint32([]byte(f[i*4:])))]
+			}
+			out[canonicalPath(labels)] = s
 		}
-		out[canonicalPath(labels)] = s
 	}
 	return out
+}
+
+// canonicalPath returns min(fwd, rev) of the label sequence joined by "/".
+func canonicalPath(labels []string) string {
+	fwd := strings.Join(labels, "/")
+	rev := make([]string, len(labels))
+	for i, l := range labels {
+		rev[len(labels)-1-i] = l
+	}
+	bwd := strings.Join(rev, "/")
+	if bwd < fwd {
+		return bwd
+	}
+	return fwd
 }
 
 // Load reads an index saved with Save and attaches it to db. It returns
@@ -103,9 +125,30 @@ func Load(r io.Reader, db *graph.DB) (*Index, error) {
 	if dbLen != db.Len() {
 		return nil, fmt.Errorf("gindex: index built for %d graphs, database has %d", dbLen, db.Len())
 	}
-	// A loaded index always operates in string mode: the format stores
-	// canonical label strings and behaves identically to a string-mode build.
-	idx := &Index{db: db, maxPathLen: maxLen, strPostings: make(map[string]*bitset.Set)}
+	idx := &Index{
+		db:         db,
+		maxPathLen: maxLen,
+		in:         graph.SharedInterner(),
+		local:      make(map[graph.LabelID]uint64),
+	}
+	// Local IDs are assigned exactly as Build would — database first-
+	// occurrence order — so a loaded index encodes features identically to
+	// a freshly built one. Labels appearing only in the file (possible for
+	// hand-edited input) extend the table afterwards, in file order.
+	for _, g := range db.Graphs {
+		f := g.Freeze()
+		for v := 0; v < f.NumVertices(); v++ {
+			lid := f.Label(int32(v))
+			if _, ok := idx.local[lid]; !ok {
+				idx.local[lid] = uint64(len(idx.local) + 1)
+			}
+		}
+	}
+	type record struct {
+		labels []string
+		set    *bitset.Set
+	}
+	var recs []record
 	line := 1
 	for sc.Scan() {
 		line++
@@ -116,6 +159,17 @@ func Load(r io.Reader, db *graph.DB) (*Index, error) {
 		if fields[0] != "f" || len(fields) < 2 {
 			return nil, fmt.Errorf("gindex: line %d: malformed record", line)
 		}
+		labels := strings.Split(fields[1], "/")
+		if len(labels) > maxLen+1 {
+			return nil, fmt.Errorf("gindex: line %d: feature has %d labels, exceeding max path length %d",
+				line, len(labels), maxLen)
+		}
+		for _, l := range labels {
+			lid := graph.Intern(l)
+			if _, ok := idx.local[lid]; !ok {
+				idx.local[lid] = uint64(len(idx.local) + 1)
+			}
+		}
 		s := bitset.New(db.Len())
 		for _, tok := range fields[2:] {
 			id, err := strconv.Atoi(tok)
@@ -124,10 +178,50 @@ func Load(r io.Reader, db *graph.DB) (*Index, error) {
 			}
 			s.Add(id)
 		}
-		idx.strPostings[fields[1]] = s
+		recs = append(recs, record{labels, s})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	idx.finalizeMode()
+	if idx.labelBits > 0 {
+		idx.postings = make(map[uint64]*bitset.Set, len(recs))
+		b := idx.labelBits
+		for _, rc := range recs {
+			var fwd, rev uint64
+			for i, l := range rc.labels {
+				id := idx.local[graph.Intern(l)]
+				fwd = fwd<<b | id
+				rev |= id << (uint(i) * b)
+			}
+			if rev < fwd {
+				fwd = rev
+			}
+			if prev, ok := idx.postings[fwd]; ok {
+				prev.UnionWith(rc.set) // duplicate (non-canonical) feature line
+			} else {
+				idx.postings[fwd] = rc.set
+			}
+		}
+	} else {
+		idx.wide = make(map[string]*bitset.Set, len(recs))
+		var fwd, rev []byte
+		for _, rc := range recs {
+			fwd, rev = fwd[:0], rev[:0]
+			for i := range rc.labels {
+				fwd = binary.BigEndian.AppendUint32(fwd, uint32(idx.local[graph.Intern(rc.labels[i])]))
+				rev = binary.BigEndian.AppendUint32(rev, uint32(idx.local[graph.Intern(rc.labels[len(rc.labels)-1-i])]))
+			}
+			key := string(fwd)
+			if string(rev) < key {
+				key = string(rev)
+			}
+			if prev, ok := idx.wide[key]; ok {
+				prev.UnionWith(rc.set)
+			} else {
+				idx.wide[key] = rc.set
+			}
+		}
 	}
 	return idx, nil
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // VertexID identifies a vertex within a single graph. IDs are dense:
@@ -57,6 +58,10 @@ type Graph struct {
 	edges     []Edge            // canonical edge list, insertion order
 	edgeSet   map[Edge]struct{} // membership
 	edgeLabel map[Edge]string   // explicit edge labels (optional)
+
+	// frozen memoizes the immutable CSR snapshot of this graph; structural
+	// mutators drop it. See Freeze in frozen.go.
+	frozen atomic.Pointer[Frozen]
 }
 
 // New returns an empty graph with capacity hints for n vertices and m edges.
@@ -75,6 +80,7 @@ func (g *Graph) AddVertex(label string) VertexID {
 	id := VertexID(len(g.labels))
 	g.labels = append(g.labels, label)
 	g.adj = append(g.adj, nil)
+	g.frozen.Store(nil)
 	return id
 }
 
@@ -102,6 +108,7 @@ func (g *Graph) AddEdge(u, v VertexID) error {
 	g.edges = append(g.edges, e)
 	g.adj[u] = insertSorted(g.adj[u], v)
 	g.adj[v] = insertSorted(g.adj[v], u)
+	g.frozen.Store(nil)
 	return nil
 }
 
@@ -154,7 +161,10 @@ func (g *Graph) Size() int { return len(g.edges) }
 func (g *Graph) Label(v VertexID) string { return g.labels[v] }
 
 // SetLabel replaces the label of vertex v.
-func (g *Graph) SetLabel(v VertexID, label string) { g.labels[v] = label }
+func (g *Graph) SetLabel(v VertexID, label string) {
+	g.labels[v] = label
+	g.frozen.Store(nil)
+}
 
 // EdgeLabel returns the label of edge {u, v}. If no explicit label was set,
 // it returns the canonical concatenation of the endpoint labels (paper

@@ -59,6 +59,17 @@ func SimilarityKindCtx(ctx context.Context, k Kind, g1, g2 *graph.Graph, budget 
 	return SimilarityMCCSCtx(ctx, g1, g2, budget)
 }
 
+// SimilarityKindLegacyCtx is SimilarityKindCtx on the mutable-graph
+// representation — the DisableFrozenGraph ablation path. It explores the
+// exact same search trees as the frozen searcher, so results are
+// bit-identical.
+func SimilarityKindLegacyCtx(ctx context.Context, k Kind, g1, g2 *graph.Graph, budget int) (float64, error) {
+	if k == KindMCS {
+		return SimilarityMCSLegacyCtx(ctx, g1, g2, budget)
+	}
+	return SimilarityMCCSLegacyCtx(ctx, g1, g2, budget)
+}
+
 // Pair is a correspondence between a vertex of G1 and a vertex of G2.
 type Pair struct {
 	V1, V2 graph.VertexID
@@ -108,11 +119,12 @@ func MCCS(g1, g2 *graph.Graph, budget int) Result {
 	return r
 }
 
-// MCCSCtx is MCCS with cooperative cancellation: the backtracking search
-// polls ctx at node-expansion boundaries and returns ctx.Err() when
-// cancelled. Each call is counted on the context's pipeline tracer
-// (CounterMCSCalls).
-func MCCSCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (Result, error) {
+// MCCSLegacyCtx is MCCSCtx on the mutable-graph representation: string
+// label comparisons, per-node candidate allocation, map-based dedup. It
+// explores the exact same search tree as the frozen searcher and exists
+// as the DisableFrozenGraph ablation path and the baseline for the
+// bench-gate-graph microbenchmark.
+func MCCSLegacyCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (Result, error) {
 	pipeline.From(ctx).Add(pipeline.CounterMCSCalls, 1)
 	if budget <= 0 {
 		budget = DefaultBudget
@@ -159,9 +171,9 @@ func MCS(g1, g2 *graph.Graph, budget int) Result {
 	return r
 }
 
-// MCSCtx is MCS with cooperative cancellation, checked between (and inside)
-// the component MCCS searches.
-func MCSCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (Result, error) {
+// MCSLegacyCtx is MCSCtx on the mutable-graph representation; see
+// MCCSLegacyCtx.
+func MCSLegacyCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (Result, error) {
 	if budget <= 0 {
 		budget = DefaultBudget
 	}
@@ -173,7 +185,7 @@ func MCSCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (Result, error
 	total := 0
 	exhausted := false
 	for {
-		r, err := MCCSCtx(ctx, h1, h2, budget)
+		r, err := MCCSLegacyCtx(ctx, h1, h2, budget)
 		if err != nil {
 			return Result{}, err
 		}
@@ -200,13 +212,14 @@ func SimilarityMCCS(g1, g2 *graph.Graph, budget int) float64 {
 	return s
 }
 
-// SimilarityMCCSCtx is SimilarityMCCS with cooperative cancellation.
-func SimilarityMCCSCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (float64, error) {
+// SimilarityMCCSLegacyCtx is SimilarityMCCSCtx on the mutable-graph
+// representation; see MCCSLegacyCtx.
+func SimilarityMCCSLegacyCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (float64, error) {
 	m := min(g1.NumEdges(), g2.NumEdges())
 	if m == 0 {
 		return 0, nil
 	}
-	r, err := MCCSCtx(ctx, g1, g2, budget)
+	r, err := MCCSLegacyCtx(ctx, g1, g2, budget)
 	if err != nil {
 		return 0, err
 	}
@@ -222,13 +235,14 @@ func SimilarityMCS(g1, g2 *graph.Graph, budget int) float64 {
 	return s
 }
 
-// SimilarityMCSCtx is SimilarityMCS with cooperative cancellation.
-func SimilarityMCSCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (float64, error) {
+// SimilarityMCSLegacyCtx is SimilarityMCSCtx on the mutable-graph
+// representation; see MCCSLegacyCtx.
+func SimilarityMCSLegacyCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (float64, error) {
 	m := min(g1.NumEdges(), g2.NumEdges())
 	if m == 0 {
 		return 0, nil
 	}
-	r, err := MCSCtx(ctx, g1, g2, budget)
+	r, err := MCSLegacyCtx(ctx, g1, g2, budget)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,9 @@
+//go:build race
+
+// Package raceflag reports whether the race detector is compiled in, so
+// allocation-regression tests (testing.AllocsPerRun) can skip themselves
+// under -race, where the detector's instrumentation allocates.
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

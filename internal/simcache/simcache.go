@@ -69,6 +69,12 @@ type Options struct {
 	// bit-identical to the engine path — the knob ablates the acceleration,
 	// not the semantics.
 	Naive bool
+	// DisableFrozen routes each similarity search through the legacy
+	// mutable-graph MCS/MCCS implementation instead of the frozen-CSR
+	// searcher. Results are bit-identical either way (the frozen searcher
+	// replicates the legacy exploration order exactly); the knob exists for
+	// ablation benchmarks and as an escape hatch.
+	DisableFrozen bool
 }
 
 // Stats is a snapshot of engine activity.
@@ -93,6 +99,7 @@ type Engine struct {
 	budget    int
 	maxCanonV int
 	naive     bool
+	frozenOff bool
 
 	// keyMu guards keys and reps; both are filled lazily per index and are
 	// written at most once (the computed values are deterministic, so a
@@ -131,6 +138,7 @@ func New(graphs []*graph.Graph, opts Options) *Engine {
 		budget:    budget,
 		maxCanonV: maxCanonV,
 		naive:     opts.Naive,
+		frozenOff: opts.DisableFrozen,
 		keys:      make([]string, len(graphs)),
 		reps:      make([]*graph.Graph, len(graphs)),
 		memo:      make(map[pairKey]float64),
@@ -207,6 +215,9 @@ func (e *Engine) pairOf(i, j int) (pairKey, *graph.Graph, *graph.Graph) {
 
 // compute runs the similarity search for one representative pair.
 func (e *Engine) compute(ctx context.Context, lo, hi *graph.Graph) (float64, error) {
+	if e.frozenOff {
+		return mcs.SimilarityKindLegacyCtx(ctx, e.kind, lo, hi, e.budget)
+	}
 	return mcs.SimilarityKindCtx(ctx, e.kind, lo, hi, e.budget)
 }
 

@@ -11,7 +11,6 @@ package subiso
 
 import (
 	"context"
-	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/pipeline"
@@ -54,11 +53,12 @@ type state struct {
 // cancellable search negligible while bounding cancellation latency.
 const ctxCheckMask = 0xff
 
-// ContainsCtx is Contains with cooperative cancellation: the search polls
-// ctx at node-expansion boundaries and returns ctx.Err() when cancelled
-// before an answer was established. Each call is counted on the context's
-// pipeline tracer (CounterVF2Calls).
-func ContainsCtx(ctx context.Context, t, p *graph.Graph) (bool, error) {
+// ContainsLegacyCtx is ContainsCtx on the mutable-graph representation:
+// per-call state allocation, string label comparisons, [][]VertexID
+// adjacency. It explores the exact same search tree as the frozen matcher
+// and exists as the DisableFrozenGraph ablation path and the baseline for
+// the bench-gate-graph microbenchmark.
+func ContainsLegacyCtx(ctx context.Context, t, p *graph.Graph) (bool, error) {
 	pipeline.From(ctx).Add(pipeline.CounterVF2Calls, 1)
 	if quickReject(t, p) {
 		return false, nil
@@ -73,36 +73,6 @@ func ContainsCtx(ctx context.Context, t, p *graph.Graph) (bool, error) {
 		return false, s.ctxErr
 	}
 	return false, nil
-}
-
-// Contains reports whether pattern p is subgraph-isomorphic to target t.
-//
-// Deprecated: use ContainsCtx. This wrapper predates PR 1's context plumbing:
-// it runs uncancellable and reports to no pipeline trace.
-func Contains(t, p *graph.Graph) bool {
-	if quickReject(t, p) {
-		return false
-	}
-	s := newState(t, p, Options{MaxSolutions: 1})
-	s.search(0)
-	return len(s.results) > 0
-}
-
-// ContainsBudget is Contains with a bound on expanded search nodes. When
-// the budget is exhausted before an embedding is found it returns
-// (false, false): "no embedding found, answer not definitive". Callers that
-// tolerate one-sided error (support estimation over many graphs) treat
-// that as non-containment.
-func ContainsBudget(t, p *graph.Graph, maxNodes int) (contained, definitive bool) {
-	if quickReject(t, p) {
-		return false, true
-	}
-	s := newState(t, p, Options{MaxSolutions: 1, MaxNodes: maxNodes})
-	s.search(0)
-	if len(s.results) > 0 {
-		return true, true
-	}
-	return false, !s.stopped || s.nodes < maxNodes
 }
 
 // FindOne returns one embedding of p in t, or nil if none exists.
@@ -185,55 +155,10 @@ func newState(t, p *graph.Graph, opts Options) *state {
 }
 
 // matchingOrder produces a connectivity-respecting order over pattern
-// vertices: the first vertex is the rarest-label/highest-degree one and each
-// subsequent vertex is adjacent to an earlier one where possible. Matching
-// connected-first keeps the candidate sets small.
+// vertices; the algorithm lives in graph.MatchingOrder so the frozen
+// matcher can cache the identical order per pattern.
 func matchingOrder(p *graph.Graph) []graph.VertexID {
-	n := p.NumVertices()
-	order := make([]graph.VertexID, 0, n)
-	inOrder := make([]bool, n)
-
-	verts := make([]graph.VertexID, n)
-	for i := range verts {
-		verts[i] = graph.VertexID(i)
-	}
-	sort.Slice(verts, func(i, j int) bool {
-		return p.Degree(verts[i]) > p.Degree(verts[j])
-	})
-
-	for len(order) < n {
-		// Pick the highest-degree vertex not yet placed to start a
-		// (possibly new) component.
-		var seed graph.VertexID = -1
-		for _, v := range verts {
-			if !inOrder[v] {
-				seed = v
-				break
-			}
-		}
-		order = append(order, seed)
-		inOrder[seed] = true
-		// BFS-expand this component in degree-descending frontier order.
-		frontier := append([]graph.VertexID(nil), p.Neighbors(seed)...)
-		for len(frontier) > 0 {
-			sort.Slice(frontier, func(i, j int) bool {
-				return p.Degree(frontier[i]) > p.Degree(frontier[j])
-			})
-			v := frontier[0]
-			frontier = frontier[1:]
-			if inOrder[v] {
-				continue
-			}
-			order = append(order, v)
-			inOrder[v] = true
-			for _, w := range p.Neighbors(v) {
-				if !inOrder[w] {
-					frontier = append(frontier, w)
-				}
-			}
-		}
-	}
-	return order
+	return graph.MatchingOrder(p)
 }
 
 func (s *state) search(depth int) {

@@ -31,6 +31,14 @@ func main() {
 	}
 	db := catapult.NewDB("ext", gs)
 
+	// The frozen-graph surface: freeze the database up front, inspect the
+	// shared interner and the flat-array footprint.
+	var stats catapult.FrozenStats = db.Freeze()
+	var in *catapult.Interner = catapult.SharedInterner()
+	var f *catapult.Frozen = gs[0].Freeze()
+	var lid catapult.LabelID = f.Label(0)
+	fmt.Println(stats.Graphs, stats.Labels, stats.Bytes, in.Len(), in.LabelString(lid))
+
 	// Full public configuration, observability included.
 	m := catapult.NewMetrics()
 	cfg := catapult.Config{
@@ -42,8 +50,9 @@ func main() {
 			Deadline: 30 * time.Second,
 			Weights:  catapult.DegradationWeights{Clustering: 0.6, CSG: 0.1, Selection: 0.3},
 		},
-		Observer: catapult.MetricsObserver(m),
-		Seed:     1,
+		Observer:           catapult.MetricsObserver(m),
+		Seed:               1,
+		DisableFrozenGraph: false,
 	}
 
 	res, err := catapult.SelectCtx(context.Background(), db, cfg)
