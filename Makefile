@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci build vet fmt test race diff-race chaos api-lock bench bench-gate bench-gate-cluster bench-gate-resilience bench-gate-graph
+.PHONY: check ci build vet fmt test race diff-race chaos api-lock serve-race bench bench-gate bench-gate-cluster bench-gate-resilience bench-gate-graph bench-gate-serve
 
 # check is the CI gate: vet, formatting, and the full test suite under the
 # race detector.
@@ -12,8 +12,9 @@ check: vet fmt race
 # frozen-graph representation (root frozen_diff_test.go) — the
 # fault-injection chaos suite for the resilience layer, the public-API
 # gates (api-lock walk + external-consumer compile smoke), and the
-# frozen-matcher benchmark gate.
-ci: check diff-race chaos api-lock bench-gate-graph
+# frozen-matcher benchmark gate, the serving-layer race suite, and the
+# serving benchmark gate.
+ci: check diff-race chaos api-lock serve-race bench-gate-graph bench-gate-serve
 
 # api-lock pins the public facade: the go/types walk fails when an exported
 # root identifier references an internal/ type with no root-package alias,
@@ -51,7 +52,14 @@ diff-race:
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos' ./...
 
-bench: bench-gate bench-gate-cluster bench-gate-resilience bench-gate-graph
+# serve-race runs the pattern service and its replayed-user load harness
+# under the race detector without caching: lock-free snapshot reads,
+# coalesced searches, and concurrent refreshes must be race-clean and
+# produce zero torn reads.
+serve-race:
+	$(GO) test -race -count=1 ./internal/serve/...
+
+bench: bench-gate bench-gate-cluster bench-gate-resilience bench-gate-graph bench-gate-serve
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # bench-gate runs the coverage-engine regression gate: it writes
@@ -79,3 +87,13 @@ bench-gate-resilience:
 # faster.
 bench-gate-graph:
 	BENCH_GATE_GRAPH=1 $(GO) test -run '^TestGraphBenchGate$$' -count=1 .
+
+# bench-gate-serve runs the serving regression gate: a thousand seeded
+# simulated users replay panel fetches and containment searches over real
+# HTTP against the pattern service fronting the quickstart maintainer. It
+# writes BENCH_serve.json and fails on sustained throughput below 5000 rps,
+# p99 above 50ms, any request error, or any internally inconsistent
+# response. SERVE_BENCH_USERS / SERVE_BENCH_SECONDS shrink the run for
+# local iteration (thresholds only bind at the full fleet size).
+bench-gate-serve:
+	BENCH_GATE_SERVE=1 $(GO) test -run '^TestServeBenchGate$$' -count=1 -timeout 600s .

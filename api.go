@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/resilience"
+	"repro/internal/serve"
 )
 
 // Graph is a small labeled data graph (vertices with string labels,
@@ -151,3 +152,70 @@ func ReadDB(r io.Reader, name string) (*DB, error) { return graph.Read(r, name) 
 
 // WriteDB writes a database in the transaction text format read by ReadDB.
 func WriteDB(w io.Writer, db *DB) error { return graph.Write(w, db) }
+
+// PatternServer is the multi-tenant concurrent pattern service: lock-free
+// snapshot reads on /v1/patterns, /v1/search and /v1/coverage, off-path
+// refreshes via /v1/tenants/{id}/refresh, request coalescing and admission
+// control. Create with NewPatternServer, register tenants with AddTenant
+// (typically Maintainer.ServeSource()), and mount it as an http.Handler.
+type PatternServer = serve.Server
+
+// PatternServerOptions configures a PatternServer (admission bounds,
+// metrics registry, request body cap).
+type PatternServerOptions = serve.Options
+
+// ServeAdmission bounds the server's concurrent work
+// (PatternServerOptions.Admission); excess load is shed with 429 +
+// Retry-After instead of queueing unboundedly.
+type ServeAdmission = serve.AdmissionConfig
+
+// ServeSource supplies a tenant's pattern state and absorbs refresh
+// batches; Maintainer.ServeSource() is the canonical implementation.
+type ServeSource = serve.Source
+
+// ServeDefaultTenant is the tenant id the API uses when a request names
+// none.
+const ServeDefaultTenant = serve.DefaultTenant
+
+// ServeState is the immutable input captured into a serving snapshot
+// (dataset name, database, patterns, clusters).
+type ServeState = serve.State
+
+// ServeSnapshot is one immutable published serving state: pre-rendered
+// pattern panel, frozen database stats and a memoized containment engine.
+type ServeSnapshot = serve.Snapshot
+
+// ServeStats identifies a snapshot in every API response (tenant, version,
+// pattern/cluster/graph counts, frozen byte size).
+type ServeStats = serve.Stats
+
+// ServeTenant is one registered pattern source with its atomically swapped
+// snapshot.
+type ServeTenant = serve.Tenant
+
+// ServePatternView is one canned pattern as served by /v1/patterns (index,
+// transaction text, score breakdown).
+type ServePatternView = serve.PatternView
+
+// ServePatternsResponse is the /v1/patterns payload.
+type ServePatternsResponse = serve.PatternsResponse
+
+// ServeSearchResponse is the /v1/search payload (matching graph indices on
+// the snapshot the Stats describe).
+type ServeSearchResponse = serve.SearchResponse
+
+// ServeCoverageResponse is the /v1/coverage payload.
+type ServeCoverageResponse = serve.CoverageResponse
+
+// ServeCoverageEntry is one pattern's containment coverage of the
+// snapshot's database (ServeCoverageResponse.Coverage).
+type ServeCoverageEntry = serve.CoverageEntry
+
+// ServeRefreshResponse is the /v1/tenants/{id}/refresh payload: the stats
+// of the freshly swapped-in snapshot.
+type ServeRefreshResponse = serve.RefreshResponse
+
+// NewPatternServer builds an empty pattern service; add tenants with
+// AddTenant and mount it on an HTTP server (standalone or alongside the
+// observability surfaces via EnableObservability + webui EnableAPI).
+func NewPatternServer(opts PatternServerOptions) *PatternServer { return serve.NewServer(opts) }

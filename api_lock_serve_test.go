@@ -1,0 +1,65 @@
+package catapult_test
+
+// Companion to the api-lock test, specialized to the serving layer: every
+// exported named type of internal/serve must have a root-package alias in
+// api.go, whether or not it is currently reachable from an exported root
+// signature. The serving API is consumed over HTTP too, so its response
+// types (PatternsResponse, SearchResponse, ...) must stay decodable by
+// external Go clients through catapult.Serve* names even when no root
+// function mentions them.
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestAPILockServeAliases(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg := typeCheckRootPackage(t, fset)
+
+	var servePkg *types.Package
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == "repro/internal/serve" {
+			servePkg = imp
+			break
+		}
+	}
+	if servePkg == nil {
+		t.Fatal("root package does not import repro/internal/serve")
+	}
+
+	aliased := make(map[*types.TypeName]bool)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		obj, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !obj.Exported() || !obj.IsAlias() {
+			continue
+		}
+		if named, ok := types.Unalias(obj.Type()).(*types.Named); ok {
+			aliased[named.Obj()] = true
+		}
+	}
+
+	var missing []string
+	sscope := servePkg.Scope()
+	for _, name := range sscope.Names() {
+		obj, ok := sscope.Lookup(name).(*types.TypeName)
+		if !ok || !obj.Exported() || obj.IsAlias() {
+			continue
+		}
+		if _, isNamed := obj.Type().(*types.Named); !isNamed {
+			continue
+		}
+		if !aliased[obj] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		t.Errorf("exported internal/serve types with no root-package alias; add aliases in api.go:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+}

@@ -10,10 +10,20 @@
 //	/debug/pprof/*  Go profiling; CPU samples carry stage labels, so
 //	                `go tool pprof -tagfocus stage=fine` isolates a stage
 //
+// With -serve the panel is backed by a transactional Maintainer fronted by
+// the concurrent pattern service, which adds the multi-tenant v1 API:
+//
+//	GET  /v1/patterns              pattern panel from the current snapshot
+//	POST /v1/search                exact containment search (query in body)
+//	GET  /v1/coverage              per-pattern coverage of the snapshot
+//	POST /v1/tenants/{id}/refresh  absorb a graph batch, swap snapshots
+//	GET  /v1/tenants               registered tenants + snapshot stats
+//
 // Usage:
 //
 //	guiserve -in db.txt -gamma 12 -addr :8080
 //	guiserve -demo -addr :8080        # synthetic 150-graph demo dataset
+//	guiserve -demo -serve             # panel + concurrent /v1 pattern API
 package main
 
 import (
@@ -33,13 +43,14 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input database file")
-		demo   = flag.Bool("demo", false, "use a generated demo dataset instead of -in")
-		addr   = flag.String("addr", ":8080", "listen address")
-		etaMin = flag.Int("min", 3, "minimum pattern size")
-		etaMax = flag.Int("max", 8, "maximum pattern size")
-		gamma  = flag.Int("gamma", 12, "number of patterns")
-		seed   = flag.Int64("seed", 42, "random seed")
+		in       = flag.String("in", "", "input database file")
+		demo     = flag.Bool("demo", false, "use a generated demo dataset instead of -in")
+		addr     = flag.String("addr", ":8080", "listen address")
+		etaMin   = flag.Int("min", 3, "minimum pattern size")
+		etaMax   = flag.Int("max", 8, "maximum pattern size")
+		gamma    = flag.Int("gamma", 12, "number of patterns")
+		seed     = flag.Int64("seed", 42, "random seed")
+		serveAPI = flag.Bool("serve", false, "back the panel with a maintainer and mount the concurrent /v1 pattern API")
 	)
 	flag.Parse()
 
@@ -70,13 +81,28 @@ func main() {
 		Clustering: catapult.ClusterConfig{Strategy: catapult.HybridMCCS, N: 20, MinSupport: 0.1},
 		Seed:       *seed,
 	}
-	srv, res, err := buildServer(context.Background(), db, cfg, reg)
-	if err != nil {
-		fatal(err)
+	var srv *webui.Server
+	if *serveAPI {
+		var m *catapult.Maintainer
+		var err error
+		srv, m, err = buildMaintainerServer(context.Background(), db, cfg, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "selected %d patterns (maintainer-backed)\n", len(m.Patterns()))
+		fmt.Fprintf(os.Stderr, "serving pattern panel + /v1 pattern API on http://localhost%s/ (GET /v1/patterns, POST /v1/search, POST /v1/tenants/%s/refresh; /metrics, /healthz, /debug/pprof/)\n",
+			*addr, catapult.ServeDefaultTenant)
+	} else {
+		var res *catapult.Result
+		var err error
+		srv, res, err = buildServer(context.Background(), db, cfg, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "selected %d patterns (clustering %v, selection %v)\n",
+			len(res.Patterns), res.ClusteringTime, res.PatternTime)
+		fmt.Fprintf(os.Stderr, "serving pattern panel on http://localhost%s/ (POST /api/search for retrieval; /metrics, /healthz, /debug/pprof/)\n", *addr)
 	}
-	fmt.Fprintf(os.Stderr, "selected %d patterns (clustering %v, selection %v)\n",
-		len(res.Patterns), res.ClusteringTime, res.PatternTime)
-	fmt.Fprintf(os.Stderr, "serving pattern panel on http://localhost%s/ (POST /api/search for retrieval; /metrics, /healthz, /debug/pprof/)\n", *addr)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fatal(err)
 	}
@@ -98,6 +124,41 @@ func buildServer(ctx context.Context, db *graph.DB, cfg catapult.Config, reg *me
 		return healthPayload(db.Name, res)
 	})
 	return srv, res, nil
+}
+
+// buildMaintainerServer assembles the -serve handler set: a transactional
+// Maintainer runs the pipeline once, the concurrent pattern service fronts
+// it under /v1/ with atomically swapped snapshots, and the SVG panel,
+// legacy search, metrics, health and pprof surfaces ride alongside on the
+// same mux. Split from main so the handler test can drive a real refresh.
+func buildMaintainerServer(ctx context.Context, db *graph.DB, cfg catapult.Config, reg *metrics.Registry) (*webui.Server, *catapult.Maintainer, error) {
+	cfg.Observer = metrics.NewTrace(reg)
+	m, err := catapult.NewMaintainerCtx(ctx, db, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.EnableMetrics(reg)
+	api := catapult.NewPatternServer(catapult.PatternServerOptions{Metrics: reg})
+	if _, err := api.AddTenant(catapult.ServeDefaultTenant, m.ServeSource()); err != nil {
+		return nil, nil, err
+	}
+	srv := webui.NewServer(db.Name, m.Patterns())
+	srv.EnableSearch(gindex.Build(db, gindex.Options{}))
+	srv.EnableAPI(api)
+	srv.EnableObservability(reg.Handler(), func() any {
+		return maintainerHealth(api)
+	})
+	return srv, m, nil
+}
+
+// maintainerHealth is the /healthz body in -serve mode: the default
+// tenant's current snapshot stats, read lock-free.
+func maintainerHealth(api *catapult.PatternServer) any {
+	stats := api.Tenant(catapult.ServeDefaultTenant).Snapshot().Stats()
+	return struct {
+		Status string              `json:"status"`
+		Serve  catapult.ServeStats `json:"serve"`
+	}{"ok", stats}
 }
 
 // healthPayload is the /healthz response body.

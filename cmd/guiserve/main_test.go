@@ -209,6 +209,91 @@ func TestMaintainerMetricsExposed(t *testing.T) {
 	}
 }
 
+// TestServeModeMountsV1API assembles the -serve handler set and drives the
+// v1 surface through the shared mux: the pattern panel and the API answer
+// side by side, a refresh through POST /v1/tenants/{id}/refresh swaps the
+// snapshot, /healthz reports the snapshot stats, and the scrape carries
+// both the pipeline and the catapult_serve_* families.
+func TestServeModeMountsV1API(t *testing.T) {
+	db := dataset.AIDSLike(30, 3)
+	reg := metrics.NewRegistry()
+	srv, m, err := buildMaintainerServer(context.Background(), db, testConfig(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Panel and API on one mux.
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("panel status = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/patterns", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/v1/patterns status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var panel catapult.ServePatternsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &panel); err != nil {
+		t.Fatal(err)
+	}
+	if panel.Stats.Version != 1 || len(panel.Patterns) != len(m.Patterns()) {
+		t.Errorf("panel = version %d with %d patterns, want version 1 with %d",
+			panel.Stats.Version, len(panel.Patterns), len(m.Patterns()))
+	}
+
+	// A refresh batch through the API swaps the snapshot in place.
+	var batch strings.Builder
+	if err := catapult.WriteDB(&batch, dataset.AIDSLike(3, 11)); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST",
+		"/v1/tenants/"+catapult.ServeDefaultTenant+"/refresh", strings.NewReader(batch.String())))
+	if rec.Code != 200 {
+		t.Fatalf("refresh status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var ref catapult.ServeRefreshResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ref); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Stats.Version != 2 || ref.Stats.Graphs != 33 {
+		t.Errorf("refresh landed as %+v, want version 2 over 33 graphs", ref.Stats)
+	}
+	if m.DB().Len() != 33 {
+		t.Errorf("maintainer db = %d graphs after API refresh, want 33", m.DB().Len())
+	}
+
+	// /healthz reflects the swapped snapshot.
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	var h struct {
+		Status string              `json:"status"`
+		Serve  catapult.ServeStats `json:"serve"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatalf("/healthz not JSON: %v", err)
+	}
+	if h.Status != "ok" || h.Serve.Version != 2 || h.Serve.Graphs != 33 {
+		t.Errorf("/healthz = %+v, want ok at version 2 over 33 graphs", h)
+	}
+
+	// One registry carries the pipeline, maintainer and serving families.
+	got := scrape(t, srv)
+	if v := got[`catapult_serve_requests_total{endpoint="patterns",code="200"}`]; v != 1 {
+		t.Errorf("serve request counter = %v, want 1", v)
+	}
+	if v := got[`catapult_serve_refreshes_total{tenant="default",outcome="ok"}`]; v != 1 {
+		t.Errorf("serve refresh counter = %v, want 1", v)
+	}
+	if v := got["catapult_maintainer_refreshes_total"]; v != 1 {
+		t.Errorf("maintainer refresh counter = %v, want 1", v)
+	}
+	if v := got[`catapult_stage_runs_total{stage="select"}`]; v < 1 {
+		t.Errorf("select stage runs = %v, want >= 1", v)
+	}
+}
+
 // TestHealthzAndPprofMounted exercises the other two operational
 // endpoints.
 func TestHealthzAndPprofMounted(t *testing.T) {

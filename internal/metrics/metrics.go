@@ -30,6 +30,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Kind is the metric family kind.
@@ -224,6 +225,10 @@ type Histogram struct {
 
 // Observe records v.
 func (h Histogram) Observe(v float64) { h.m.observe(h.bounds, v) }
+
+// ObserveSince records the seconds elapsed since start — the common
+// request-latency idiom of the serving layer.
+func (h Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
 
 // Count returns the number of observations so far.
 func (h Histogram) Count() uint64 { return h.m.count.Load() }

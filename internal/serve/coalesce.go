@@ -1,0 +1,66 @@
+// Request coalescing: identical in-flight queries share one computation.
+// The v1 search endpoint keys on (tenant, snapshot version, canonical form
+// of the query graph), so a thundering herd of isomorphic queries — the
+// common case when many users drag the same canned pattern — costs one
+// containment evaluation, and followers piggyback on the leader's result.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flightCall is one in-flight shared computation.
+type flightCall struct {
+	done    chan struct{}
+	waiters atomic.Int64
+	val     any
+	err     error
+}
+
+// flightGroup is a minimal singleflight: Do runs fn once per key among
+// concurrent callers; late arrivals wait for the leader and share its
+// result. The module is stdlib-only, so this replicates the core of
+// golang.org/x/sync/singleflight without the dependency.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// Do executes fn under key, coalescing concurrent duplicate calls. The
+// boolean reports whether the result was shared from another caller's
+// execution (true for followers, false for the leader).
+func (g *flightGroup) Do(key string, fn func() (any, error)) (any, error, bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		c.waiters.Add(1)
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}
+
+// waiters reports how many callers are parked on key's in-flight call
+// (0 when none is in flight). Tests use it to sequence deterministically.
+func (g *flightGroup) waiters(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return int(c.waiters.Load())
+	}
+	return 0
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFlightGroupSharesResult(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	go func() {
+		_, _, _ = g.Do("k", func() (any, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return 7, nil
+		})
+	}()
+	<-started
+
+	const followers = 8
+	var wg sync.WaitGroup
+	results := make([]int, followers)
+	sharedFlags := make([]bool, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := g.Do("k", func() (any, error) {
+				calls.Add(1)
+				return -1, nil
+			})
+			if err != nil {
+				t.Errorf("follower %d: %v", i, err)
+				return
+			}
+			results[i] = v.(int)
+			sharedFlags[i] = shared
+		}(i)
+	}
+	// Let the leader finish only after every follower is parked on its
+	// flight, so the sharing path is exercised deterministically.
+	for g.waiters("k") < followers {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Errorf("fn ran %d times, want 1", n)
+	}
+	for i := range results {
+		if results[i] != 7 || !sharedFlags[i] {
+			t.Errorf("follower %d: got (%d, shared=%v), want (7, true)", i, results[i], sharedFlags[i])
+		}
+	}
+
+	// The flight is gone once done: a new call runs fresh.
+	v, _, shared := g.Do("k", func() (any, error) { return 9, nil })
+	if v.(int) != 9 || shared {
+		t.Errorf("post-flight call: got (%v, shared=%v), want (9, false)", v, shared)
+	}
+}
+
+func TestFlightGroupDistinctKeysIndependent(t *testing.T) {
+	var g flightGroup
+	var wg sync.WaitGroup
+	var calls atomic.Int64
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i%4))
+			v, err, _ := g.Do(key, func() (any, error) {
+				calls.Add(1)
+				return key, nil
+			})
+			if err != nil || v.(string) != key {
+				t.Errorf("key %q: got (%v, %v)", key, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := calls.Load(); n < 4 || n > 16 {
+		t.Errorf("calls = %d, want between 4 and 16", n)
+	}
+}
+
+func TestFlightGroupPropagatesError(t *testing.T) {
+	var g flightGroup
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_, _, _ = g.Do("k", func() (any, error) {
+			close(started)
+			<-release
+			return nil, boom
+		})
+	}()
+	<-started
+	done := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do("k", func() (any, error) { return nil, nil })
+		done <- err
+	}()
+	for g.waiters("k") < 1 {
+		runtime.Gosched()
+	}
+	close(release)
+	if err := <-done; !errors.Is(err, boom) {
+		t.Errorf("follower error = %v, want boom", err)
+	}
+}

@@ -1,0 +1,65 @@
+// Serving metrics: the catapult_serve_* families exported through
+// internal/metrics. One serveMetrics is registered per Server; passing the
+// same registry that carries the pipeline and maintainer families gives a
+// single /metrics exposition for the whole service.
+package serve
+
+import "repro/internal/metrics"
+
+type serveMetrics struct {
+	requests  metrics.CounterVec   // {endpoint, code}
+	duration  metrics.HistogramVec // {endpoint}
+	inflight  metrics.Gauge
+	shed      metrics.Counter
+	coalesced metrics.Counter
+	refreshes metrics.CounterVec // {tenant, outcome}
+	version   metrics.GaugeVec   // {tenant}
+	patterns  metrics.GaugeVec   // {tenant}
+	graphs    metrics.GaugeVec   // {tenant}
+}
+
+// serveBuckets spans the serving latency range: tens of microseconds for
+// pre-rendered snapshot reads up to seconds for cold containment searches.
+var serveBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+func newServeMetrics(m *metrics.Registry) *serveMetrics {
+	return &serveMetrics{
+		requests: m.CounterVec("catapult_serve_requests",
+			"Requests served by the v1 pattern API, by endpoint and status code.",
+			"endpoint", "code"),
+		duration: m.HistogramVec("catapult_serve_request_duration_seconds",
+			"Request latency of the v1 pattern API, by endpoint.",
+			serveBuckets, "endpoint"),
+		inflight: m.Gauge("catapult_serve_inflight_requests",
+			"Requests currently admitted and executing."),
+		shed: m.Counter("catapult_serve_shed_requests",
+			"Requests shed by admission control (429 Too Many Requests)."),
+		coalesced: m.Counter("catapult_serve_coalesced_requests",
+			"Search requests that piggybacked on an identical in-flight query."),
+		refreshes: m.CounterVec("catapult_serve_refreshes",
+			"Tenant snapshot refreshes, by outcome (ok / error).",
+			"tenant", "outcome"),
+		version: m.GaugeVec("catapult_serve_snapshot_version",
+			"Version of the snapshot currently served, per tenant.",
+			"tenant"),
+		patterns: m.GaugeVec("catapult_serve_snapshot_patterns",
+			"Canned patterns in the snapshot currently served, per tenant.",
+			"tenant"),
+		graphs: m.GaugeVec("catapult_serve_snapshot_graphs",
+			"Database graphs in the snapshot currently served, per tenant.",
+			"tenant"),
+	}
+}
+
+// observeSnapshot updates the per-tenant snapshot gauges after a swap.
+func (sm *serveMetrics) observeSnapshot(st Stats) {
+	if sm == nil {
+		return
+	}
+	sm.version.With(st.Tenant).Set(float64(st.Version))
+	sm.patterns.With(st.Tenant).Set(float64(st.Patterns))
+	sm.graphs.With(st.Tenant).Set(float64(st.Graphs))
+}

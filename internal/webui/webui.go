@@ -48,11 +48,25 @@ type Server struct {
 // NewServer builds the handler set for the given selection result.
 func NewServer(datasetName string, patterns []*core.Pattern) *Server {
 	s := &Server{DatasetName: datasetName, Patterns: patterns, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/", s.handleIndex)
-	s.mux.HandleFunc("/pattern/", s.handlePattern)
-	s.mux.HandleFunc("/api/patterns.json", s.handleJSON)
+	s.mux.HandleFunc("/", readOnly(s.handleIndex))
+	s.mux.HandleFunc("/pattern/", readOnly(s.handlePattern))
+	s.mux.HandleFunc("/api/patterns.json", readOnly(s.handleJSON))
 	s.mux.HandleFunc("/api/search", s.handleSearch)
 	return s
+}
+
+// readOnly guards a render handler: anything but GET or HEAD answers 405
+// with an Allow header instead of silently rendering (a POST to the panel
+// is a client bug worth surfacing, not a page view).
+func readOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
 }
 
 // EnableSearch attaches a subgraph-search index so POST /api/search can
@@ -91,6 +105,12 @@ func (s *Server) EnableObservability(metricsHandler http.Handler, health func() 
 	s.mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
 }
+
+// EnableAPI mounts the concurrent pattern-serving API (typically an
+// internal/serve Server) under /v1/ on this server's mux, so one listener
+// carries the human-facing panel, the operational endpoints, and the
+// machine-facing serving API.
+func (s *Server) EnableAPI(api http.Handler) { s.mux.Handle("/v1/", api) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }

@@ -161,6 +161,66 @@ func TestSearchEndpointErrors(t *testing.T) {
 	}
 }
 
+// TestErrorPaths walks the render endpoints' failure surface in one table:
+// bad pattern indices, malformed DOT/SVG requests, and wrong methods — the
+// render handlers are read-only and must answer 405, never 200, to writes.
+func TestErrorPaths(t *testing.T) {
+	s := NewServer("x", testPatterns())
+	for _, tc := range []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"index ok", http.MethodGet, "/", "", http.StatusOK},
+		{"index HEAD ok", http.MethodHead, "/", "", http.StatusOK},
+		{"index POST", http.MethodPost, "/", "x", http.StatusMethodNotAllowed},
+		{"index DELETE", http.MethodDelete, "/", "", http.StatusMethodNotAllowed},
+		{"json POST", http.MethodPost, "/api/patterns.json", "x", http.StatusMethodNotAllowed},
+		{"json PUT", http.MethodPut, "/api/patterns.json", "x", http.StatusMethodNotAllowed},
+		{"svg POST", http.MethodPost, "/pattern/0.svg", "x", http.StatusMethodNotAllowed},
+		{"dot POST", http.MethodPost, "/pattern/1.dot", "x", http.StatusMethodNotAllowed},
+		{"dot out of range", http.MethodGet, "/pattern/2.dot", "", http.StatusNotFound},
+		{"dot negative", http.MethodGet, "/pattern/-1.dot", "", http.StatusNotFound},
+		{"dot non-numeric", http.MethodGet, "/pattern/zero.dot", "", http.StatusNotFound},
+		{"dot empty index", http.MethodGet, "/pattern/.dot", "", http.StatusNotFound},
+		{"unknown extension", http.MethodGet, "/pattern/0.pdf", "", http.StatusNotFound},
+		{"bare pattern dir", http.MethodGet, "/pattern/", "", http.StatusNotFound},
+		{"svg overflow index", http.MethodGet, "/pattern/99999999999999999999.svg", "", http.StatusNotFound},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var req *http.Request
+			if tc.body == "" {
+				req = httptest.NewRequest(tc.method, tc.path, nil)
+			} else {
+				req = httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body))
+			}
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != tc.want {
+				t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, rec.Code, tc.want)
+			}
+			if rec.Code == http.StatusMethodNotAllowed && rec.Header().Get("Allow") == "" {
+				t.Errorf("%s %s: 405 without Allow header", tc.method, tc.path)
+			}
+		})
+	}
+}
+
+// TestEnableAPI mounts a stand-in /v1 handler and checks routing: /v1/*
+// reaches the API handler, everything else still reaches the panel.
+func TestEnableAPI(t *testing.T) {
+	s := NewServer("x", testPatterns())
+	api := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	s.EnableAPI(api)
+	if rec := get(t, s, "/v1/patterns"); rec.Code != http.StatusTeapot {
+		t.Errorf("/v1/patterns did not reach the API handler: %d", rec.Code)
+	}
+	if rec := get(t, s, "/"); rec.Code != http.StatusOK {
+		t.Errorf("panel broken after EnableAPI: %d", rec.Code)
+	}
+}
+
 func TestPatternsJSON(t *testing.T) {
 	s := NewServer("jsondb", testPatterns())
 	rec := get(t, s, "/api/patterns.json")

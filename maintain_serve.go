@@ -1,0 +1,51 @@
+package catapult
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// ServeState captures the maintainer's current state as a serving snapshot
+// input. The returned State aliases the maintainer's internal slices, which
+// is safe because refreshes replace them wholesale (copy-and-swap) and
+// never mutate them in place — a captured State stays internally consistent
+// forever, it just goes stale.
+func (m *Maintainer) ServeState() serve.State {
+	return serve.State{
+		Dataset:  m.db.Name,
+		DB:       m.db,
+		Patterns: m.patterns,
+		Clusters: m.clusters,
+	}
+}
+
+// ServeSource adapts the maintainer to the serving layer's Source
+// interface. The Maintainer itself is not safe for concurrent use, so the
+// adapter serializes State and Refresh calls behind one mutex; the serving
+// tier's lock-free read path never touches it — readers answer from the
+// tenant's published snapshot, and only snapshot builds and refreshes go
+// through here.
+func (m *Maintainer) ServeSource() serve.Source {
+	return &maintainerSource{m: m}
+}
+
+type maintainerSource struct {
+	mu sync.Mutex
+	m  *Maintainer
+}
+
+func (s *maintainerSource) State() serve.State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.ServeState()
+}
+
+func (s *maintainerSource) Refresh(ctx context.Context, gs []*graph.Graph) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.m.AddGraphsCtx(ctx, gs)
+	return err
+}

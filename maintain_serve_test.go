@@ -1,0 +1,115 @@
+package catapult
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/serve"
+)
+
+// The root-level integration: a Maintainer behind ServeSource drives the
+// serving layer end to end — initial snapshot from the maintainer's state,
+// refresh through AddGraphsCtx, and last-good survival on a failed refresh.
+func TestMaintainerServeSource(t *testing.T) {
+	m := testMaintainer(t)
+	s := serve.NewServer(serve.Options{})
+	if _, err := s.AddTenant(serve.DefaultTenant, m.ServeSource()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/patterns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("patterns: %d", resp.StatusCode)
+	}
+	var pr serve.PatternsResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Stats.Version != 1 || pr.Stats.Graphs != 30 {
+		t.Fatalf("initial snapshot wrong: %+v", pr.Stats)
+	}
+	if len(pr.Patterns) != len(m.Patterns()) {
+		t.Fatalf("served %d patterns, maintainer has %d", len(pr.Patterns), len(m.Patterns()))
+	}
+
+	// Refresh with a batch of new graphs, posted in transaction text.
+	extra := dataset.AIDSLike(4, 99)
+	var batch strings.Builder
+	if err := WriteDB(&batch, extra); err != nil {
+		t.Fatal(err)
+	}
+	resp3, err := http.Post(srv.URL+"/v1/tenants/default/refresh", "text/plain",
+		strings.NewReader(batch.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var rr serve.RefreshResponse
+	if err := json.NewDecoder(resp3.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("refresh: %d", resp3.StatusCode)
+	}
+	if rr.Stats.Version != 2 || rr.Stats.Graphs != 34 || rr.Added != 4 {
+		t.Fatalf("refresh response wrong: %+v added=%d", rr.Stats, rr.Added)
+	}
+	if m.DB().Len() != 34 {
+		t.Fatalf("maintainer did not absorb batch: %d graphs", m.DB().Len())
+	}
+}
+
+// A refresh that fails inside the Maintainer (cancelled context) must leave
+// the tenant serving the last-good snapshot and the maintainer queueing the
+// batch for retry.
+func TestMaintainerServeSourceFailedRefresh(t *testing.T) {
+	m := testMaintainer(t)
+	src := m.ServeSource()
+	s := serve.NewServer(serve.Options{})
+	tn, err := s.AddTenant("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tn.Snapshot().Stats()
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	extra := dataset.AIDSLike(3, 7)
+	if _, err := tn.Refresh(cancelled, extra.Graphs); err == nil {
+		t.Fatal("refresh under cancelled context succeeded")
+	}
+	if got := tn.Snapshot().Stats(); got != before {
+		t.Errorf("snapshot changed across failed refresh: %+v -> %+v", before, got)
+	}
+	if m.Pending() != 3 {
+		t.Errorf("maintainer pending = %d, want 3 (batch queued for retry)", m.Pending())
+	}
+
+	// The queued batch goes through on the next successful refresh.
+	if _, err := tn.Refresh(context.Background(), nil); err != nil {
+		t.Fatalf("retry refresh: %v", err)
+	}
+	after := tn.Snapshot().Stats()
+	if after.Version != before.Version+1 || after.Graphs != before.Graphs+3 {
+		t.Errorf("retry refresh snapshot wrong: %+v", after)
+	}
+	if m.Pending() != 0 {
+		t.Errorf("pending not drained: %d", m.Pending())
+	}
+}

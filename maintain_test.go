@@ -155,6 +155,81 @@ func TestMaintainerRetryBackoff(t *testing.T) {
 	}
 }
 
+// TestMaintainerRetryBackoffFullSchedule drives the fake clock through the
+// entire capped-exponential ladder, failure by failure, pinning three
+// deterministic properties at every rung k:
+//
+//  1. the scheduled delay is exactly min(retryBaseDelay·2^(k-1),
+//     retryMaxDelay) — the cap engages at the precise rung the doubling
+//     crosses it, never earlier;
+//  2. one nanosecond before the deadline RetryCtx still refuses with
+//     ErrRetryNotDue and leaves the retry state untouched;
+//  3. exactly at the deadline the retry is due (the window is closed-open:
+//     due means now >= nextRetry, not now > nextRetry).
+//
+// A successful retry at the top of the ladder must then reset it: the next
+// failure starts over at retryBaseDelay.
+func TestMaintainerRetryBackoffFullSchedule(t *testing.T) {
+	m := testMaintainer(t)
+	cur := time.Unix(1_700_000_000, 0)
+	m.now = func() time.Time { return cur }
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	extra := dataset.AIDSLike(2, 5)
+	if _, err := m.AddGraphsCtx(cancelled, extra.Graphs); err == nil {
+		t.Fatal("want failure under cancelled context")
+	}
+
+	const rungs = 25 // well past the rung where the cap engages (k=10)
+	for k := 1; k <= rungs; k++ {
+		want := retryBaseDelay << (k - 1)
+		if want > retryMaxDelay {
+			want = retryMaxDelay
+		}
+		if got := m.NextRetry().Sub(cur); got != want {
+			t.Fatalf("rung %d: backoff = %v, want %v", k, got, want)
+		}
+		if m.failures != k {
+			t.Fatalf("rung %d: failures = %d", k, m.failures)
+		}
+
+		// 1ns before the deadline: still refused, nothing disturbed.
+		pendingBefore, nextBefore := m.Pending(), m.NextRetry()
+		cur = nextBefore.Add(-time.Nanosecond)
+		if _, err := m.RetryCtx(cancelled); !errors.Is(err, ErrRetryNotDue) {
+			t.Fatalf("rung %d, 1ns early: err = %v, want ErrRetryNotDue", k, err)
+		}
+		if m.Pending() != pendingBefore || !m.NextRetry().Equal(nextBefore) || m.failures != k {
+			t.Fatalf("rung %d: refused retry disturbed state", k)
+		}
+
+		// Exactly at the deadline: due. The attempt runs (and fails again,
+		// climbing to the next rung).
+		cur = nextBefore
+		if _, err := m.RetryCtx(cancelled); err == nil || errors.Is(err, ErrRetryNotDue) {
+			t.Fatalf("rung %d, at deadline: err = %v, want a real attempt failure", k, err)
+		}
+	}
+
+	// Recovery at the top of the ladder: the queued batch lands and the
+	// schedule resets to the base delay on the next failure.
+	cur = m.NextRetry()
+	if _, err := m.RetryCtx(context.Background()); err != nil {
+		t.Fatalf("recovery retry: %v", err)
+	}
+	if m.DB().Len() != 32 || m.Pending() != 0 || m.failures != 0 {
+		t.Fatalf("recovery did not land/reset: len=%d pending=%d failures=%d",
+			m.DB().Len(), m.Pending(), m.failures)
+	}
+	if _, err := m.AddGraphsCtx(cancelled, dataset.AIDSLike(1, 6).Graphs); err == nil {
+		t.Fatal("want failure under cancelled context")
+	}
+	if got := m.NextRetry().Sub(cur); got != retryBaseDelay {
+		t.Errorf("post-recovery backoff = %v, want base %v (ladder not reset)", got, retryBaseDelay)
+	}
+}
+
 func TestMaintainerBackoffCapped(t *testing.T) {
 	m := testMaintainer(t)
 	cur := time.Unix(2000, 0)
