@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci build vet fmt test race diff-race chaos api-lock serve-race bench bench-gate bench-gate-cluster bench-gate-resilience bench-gate-graph bench-gate-serve
+.PHONY: check ci build vet fmt test race diff-race chaos api-lock serve-race bignet-race fuzz-bignet bench bench-gate bench-gate-cluster bench-gate-resilience bench-gate-graph bench-gate-serve bench-gate-bignet
 
 # check is the CI gate: vet, formatting, and the full test suite under the
 # race detector.
@@ -8,13 +8,14 @@ check: vet fmt race
 
 # ci extends check with the differential suites pinned explicitly under the
 # race detector — the bit-identity proofs for the coverage engine
-# (internal/cover), the similarity engine (internal/simcache), and the
-# frozen-graph representation (root frozen_diff_test.go) — the
-# fault-injection chaos suite for the resilience layer, the public-API
-# gates (api-lock walk + external-consumer compile smoke), and the
-# frozen-matcher benchmark gate, the serving-layer race suite, and the
-# serving benchmark gate.
-ci: check diff-race chaos api-lock serve-race bench-gate-graph bench-gate-serve
+# (internal/cover), the similarity engine (internal/simcache), the
+# frozen-graph representation (root frozen_diff_test.go), and the
+# large-network decomposition (internal/bignet + root bignet_diff_test.go)
+# — the fault-injection chaos suite for the resilience and serving layers,
+# the public-API gates (api-lock walk + external-consumer compile smoke),
+# the large-network race + fuzz-seed suite, and the frozen-matcher, serving,
+# and large-network benchmark gates.
+ci: check diff-race chaos api-lock serve-race bignet-race bench-gate-graph bench-gate-serve bench-gate-bignet
 
 # api-lock pins the public facade: the go/types walk fails when an exported
 # root identifier references an internal/ type with no root-package alias,
@@ -43,8 +44,10 @@ race:
 
 # diff-race runs only the engine-vs-naive differential tests, under -race
 # and without result caching, so cache-freshness never masks a divergence.
+# Includes the large-network suites: decomposition must be bit-identical
+# across GOMAXPROCS and the text/binary loaders must select identically.
 diff-race:
-	$(GO) test -race -count=1 -run 'Differential' ./internal/core/ ./internal/cluster/ .
+	$(GO) test -race -count=1 -run 'Differential' ./internal/core/ ./internal/cluster/ ./internal/bignet/ .
 
 # chaos runs the fault-injection suite under -race: injected worker panics
 # and stalls in every pipeline phase must degrade — never crash or leak —
@@ -59,7 +62,23 @@ chaos:
 serve-race:
 	$(GO) test -race -count=1 ./internal/serve/...
 
-bench: bench-gate bench-gate-cluster bench-gate-resilience bench-gate-graph bench-gate-serve
+# bignet-race runs the large-network subsystem — streaming loaders, edge
+# partition, parallel region summarization — under the race detector
+# without caching. The fuzz targets' seed corpora run as regular tests
+# here; use `make fuzz-bignet` for a timed fuzzing session.
+bignet-race:
+	$(GO) test -race -count=1 ./internal/bignet/...
+
+# fuzz-bignet gives each bignet fuzz target a short coverage-guided
+# session: the lenient text loader, the hostile-bytes binary loader, and
+# the partition invariants. FUZZTIME overrides the per-target budget.
+FUZZTIME ?= 15s
+fuzz-bignet:
+	$(GO) test -run '^$$' -fuzz '^FuzzEdgeListLoader$$' -fuzztime $(FUZZTIME) ./internal/bignet/
+	$(GO) test -run '^$$' -fuzz '^FuzzBinaryLoader$$' -fuzztime $(FUZZTIME) ./internal/bignet/
+	$(GO) test -run '^$$' -fuzz '^FuzzPartitionInvariants$$' -fuzztime $(FUZZTIME) ./internal/bignet/
+
+bench: bench-gate bench-gate-cluster bench-gate-resilience bench-gate-graph bench-gate-serve bench-gate-bignet
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # bench-gate runs the coverage-engine regression gate: it writes
@@ -97,3 +116,13 @@ bench-gate-graph:
 # local iteration (thresholds only bind at the full fleet size).
 bench-gate-serve:
 	BENCH_GATE_SERVE=1 $(GO) test -run '^TestServeBenchGate$$' -count=1 -timeout 600s .
+
+# bench-gate-bignet runs the large-network regression gate: a ~1M-edge
+# generated R-MAT network is streamed through the text loader into a
+# frozen CSR, decomposed into regions, and run through pattern selection
+# end to end. It writes BENCH_bignet.json and fails on load throughput
+# below 500k edges/sec, decompose+select above 120s, or an empty or
+# out-of-budget pattern set. BIGNET_BENCH_EDGES shrinks the network for
+# local iteration (thresholds only bind at the full size).
+bench-gate-bignet:
+	BENCH_GATE_BIGNET=1 $(GO) test -run '^TestBignetBenchGate$$' -count=1 -timeout 600s .

@@ -11,6 +11,7 @@ package catapult
 import (
 	"io"
 
+	"repro/internal/bignet"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/csg"
@@ -219,3 +220,25 @@ type ServeRefreshResponse = serve.RefreshResponse
 // AddTenant and mount it on an HTTP server (standalone or alongside the
 // observability surfaces via EnableObservability + webui EnableAPI).
 func NewPatternServer(opts PatternServerOptions) *PatternServer { return serve.NewServer(opts) }
+
+// NetworkOptions tunes large-network decomposition (Config.Network):
+// region edge cap, representatives per region and their size bounds, and
+// the sampling seed.
+type NetworkOptions = bignet.Options
+
+// NetworkLoadOptions tunes the streaming network loaders (default label
+// for undeclared vertices, builder size hints).
+type NetworkLoadOptions = bignet.LoadOptions
+
+// NetworkLoadStats reports what a streaming network load accepted and
+// dropped (vertices, edges, labels; malformed / self-loop / duplicate
+// lines).
+type NetworkLoadStats = bignet.LoadStats
+
+// NetworkRegion is one element of a network's edge partition: the edges
+// claimed by one BFS-grown region, in claim order.
+type NetworkRegion = bignet.Region
+
+// NetworkDecomposition is the edge partition of a network plus the
+// synthetic region-summary database the pipeline runs on.
+type NetworkDecomposition = bignet.Decomposition

@@ -51,6 +51,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/bignet"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/csg"
@@ -131,6 +132,11 @@ type Config struct {
 	// events concurrently from parallel workers and must be safe for
 	// concurrent use. Observation never changes selection output.
 	Observer Observer
+	// Network tunes the large-network decomposition performed by
+	// SelectNetworkCtx (region size cap, representatives per region,
+	// sampling seed). Ignored by SelectCtx. The zero value uses the
+	// bignet defaults with Seed inherited from Config.Seed.
+	Network bignet.Options
 }
 
 func (c *Config) defaults() {
@@ -149,6 +155,9 @@ func (c *Config) defaults() {
 	}
 	if c.Selection.Seed == 0 && !c.Selection.SeedSet {
 		c.Selection.Seed = c.Seed
+	}
+	if c.Network.Seed == 0 && !c.Network.SeedSet {
+		c.Network.Seed = c.Seed
 	}
 	if c.DisableSimCache {
 		c.Clustering.DisableSimCache = true

@@ -1,0 +1,160 @@
+package catapult
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/faultinject"
+	"repro/internal/pipeline"
+	"repro/internal/serve"
+)
+
+// TestChaosBignetServeReload is the large-network tenant's chaos drill:
+// reader goroutines hammer a bignet-backed tenant while it reloads its
+// network from the edge stream, and one reload is made to fail
+// mid-stream by an injected context cancellation armed on the loader's
+// own progress counter — deep inside LoadEdgeListCtx, thousands of edge
+// lines in. The NetworkSource must keep its last-good state, readers
+// must never see a torn or regressed snapshot, and the next clean reload
+// must swap in exactly one new version. Run by `make chaos` under -race.
+func TestChaosBignetServeReload(t *testing.T) {
+	// A network big enough that the poisoned reload is cancelled
+	// mid-stream: the loader flushes progress every 1024 lines, so ~6k
+	// edge lines guarantee the 2000-edge trigger fires while streaming.
+	var sb strings.Builder
+	if err := dataset.WriteNetworkText(&sb, dataset.NetworkConfig{
+		Name: "chaos-net", Vertices: 1024, Edges: 6000, Labels: 6, Seed: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	netText := sb.String()
+
+	cfg := Config{
+		Budget:     core.Budget{EtaMin: 3, EtaMax: 6, Gamma: 4},
+		Clustering: cluster.Config{Strategy: cluster.HybridMCCS, N: 8, MinSupport: 0.2},
+		Selection:  core.Options{Walks: 5},
+		Seed:       11,
+		Network:    NetworkOptions{Name: "chaos-net", MaxRegionEdges: 256, Reps: 2},
+	}
+	loader := func(ctx context.Context) (*Frozen, error) {
+		f, _, err := LoadNetworkCtx(ctx, strings.NewReader(netText), NetworkLoadOptions{})
+		return f, err
+	}
+	src, err := NewNetworkSourceCtx(context.Background(), loader, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.NewServer(serve.Options{})
+	tn, err := s.AddTenant(serve.DefaultTenant, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reader fleet: every response must be internally consistent and
+	// versions must never regress, throughout clean and failing reloads.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	report := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Sprintf(format, args...):
+		default:
+		}
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastVersion uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/patterns", nil))
+				if rec.Code != 200 {
+					report("reader: status %d", rec.Code)
+					return
+				}
+				var pr serve.PatternsResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+					report("reader: unparseable body: %v", err)
+					return
+				}
+				if len(pr.Patterns) != pr.Stats.Patterns {
+					report("torn read: %d patterns, stats say %d (version %d)",
+						len(pr.Patterns), pr.Stats.Patterns, pr.Stats.Version)
+					return
+				}
+				if pr.Stats.Version < lastVersion {
+					report("version regressed %d -> %d", lastVersion, pr.Stats.Version)
+					return
+				}
+				lastVersion = pr.Stats.Version
+			}
+		}()
+	}
+
+	// Reload 1: clean, must swap.
+	v1 := tn.Snapshot().Stats()
+	if _, err := tn.Refresh(context.Background(), nil); err != nil {
+		t.Fatalf("clean reload: %v", err)
+	}
+	v2 := tn.Snapshot().Stats()
+	if v2.Version != v1.Version+1 {
+		t.Fatalf("clean reload did not swap: %+v -> %+v", v1, v2)
+	}
+
+	// Reload 2: poisoned. The injector cancels the reload's context once
+	// the loader has streamed 2000 edges — mid-file, with the frozen
+	// network half-built.
+	inj := faultinject.New()
+	poisonCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inj.Do(pipeline.CounterNetEdgesLoaded, 2000, "cancel-mid-load", cancel)
+	if _, err := tn.Refresh(pipeline.WithTrace(poisonCtx, inj), nil); err == nil {
+		t.Fatal("poisoned reload succeeded, want mid-stream failure")
+	}
+	if len(inj.Fired()) == 0 {
+		t.Fatal("injected cancellation never fired; the mid-stream path was not exercised")
+	}
+	after := tn.Snapshot().Stats()
+	if after != v2 {
+		t.Errorf("failed reload disturbed the served snapshot: %+v -> %+v", v2, after)
+	}
+
+	// A batch refresh is not meaningful for a network tenant and must be
+	// rejected without touching the served state.
+	if _, err := tn.Refresh(context.Background(), dataset.AIDSLike(1, 3).Graphs); err == nil {
+		t.Error("batch refresh on a network tenant succeeded, want rejection")
+	}
+	if got := tn.Snapshot().Stats(); got != v2 {
+		t.Errorf("rejected batch refresh disturbed the snapshot: %+v -> %+v", v2, got)
+	}
+
+	// Reload 3: clean again — exactly one version step.
+	if _, err := tn.Refresh(context.Background(), nil); err != nil {
+		t.Fatalf("recovery reload: %v", err)
+	}
+	final := tn.Snapshot().Stats()
+	if final.Version != v2.Version+1 {
+		t.Errorf("recovery version = %d, want %d", final.Version, v2.Version+1)
+	}
+
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -1,16 +1,22 @@
-// Command catapult mines canned patterns from a graph database file.
+// Command catapult mines canned patterns from a graph database file, or
+// from one large network with -network.
 //
 // Usage:
 //
 //	catapult -in db.txt -min 3 -max 12 -gamma 30 [-sample] [-deadline 30s] [-health] [-out patterns.txt]
+//	catapult -network net.txt -gamma 10 [-region-cap 4096] [-reps 2]
 //
-// The input is the line-oriented transaction format of internal/graph
-// ("t # <id>" / "v <id> <label>" / "e <u> <v>"). Selected patterns are
-// written in the same format (to stdout by default) together with a
+// The -in input is the line-oriented transaction format of internal/graph
+// ("t # <id>" / "v <id> <label>" / "e <u> <v>"). The -network input is a
+// SNAP-style edge list ("u v" lines, optional "v id label" declarations,
+// "#" comments) or the compact binary format written by datagen -network
+// -format bin (autodetected by magic). Selected patterns are written in
+// the transaction format (to stdout by default) together with a
 // per-pattern score summary on stderr.
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -21,6 +27,7 @@ import (
 	"os"
 
 	catapult "repro"
+	"repro/internal/bignet"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/freqmine"
@@ -51,29 +58,38 @@ func main() {
 		health   = flag.Bool("health", false, "print the per-stage degradation report to stderr after the run")
 		trace    = flag.Bool("trace", false, "log pipeline stages and counters to stderr")
 		maddr    = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof/ on this address while the pipeline runs (for long runs; e.g. :9090)")
+
+		network   = flag.String("network", "", "treat the file as one large network (edge list or binary) instead of a graph database")
+		regionCap = flag.Int("region-cap", 0, "network: maximum edges per decomposition region (0 = default)")
+		reps      = flag.Int("reps", 0, "network: representative subgraphs sampled per region (0 = default)")
 	)
 	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "catapult: -in is required")
+	if *in == "" && *network == "" {
+		fmt.Fprintln(os.Stderr, "catapult: -in or -network is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*in)
-	if err != nil {
-		fatal(err)
+	var db *graph.DB
+	var fstats graph.FrozenStats
+	if *network == "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		db, err = graph.Read(f, *in)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s: %s\n", *in, db.ComputeStats())
+		// Freeze the database up front: the matcher hot paths run on the
+		// frozen CSR form, and freezing here makes the memory story visible
+		// at startup.
+		fstats = db.Freeze()
+		fmt.Fprintf(os.Stderr, "frozen: %d graphs, %d interned labels, %d bytes CSR\n",
+			fstats.Graphs, fstats.Labels, fstats.Bytes)
 	}
-	db, err := graph.Read(f, *in)
-	f.Close()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "loaded %s: %s\n", *in, db.ComputeStats())
-	// Freeze the database up front: the matcher hot paths run on the frozen
-	// CSR form, and freezing here makes the memory story visible at startup.
-	fstats := db.Freeze()
-	fmt.Fprintf(os.Stderr, "frozen: %d graphs, %d interned labels, %d bytes CSR\n",
-		fstats.Graphs, fstats.Labels, fstats.Bytes)
 
 	cfg := catapult.Config{
 		Budget:     core.Budget{EtaMin: *etaMin, EtaMax: *etaMax, Gamma: *gamma},
@@ -116,15 +132,26 @@ func main() {
 	if *maddr != "" {
 		obs, reg := serveMetrics(*maddr)
 		cfg.Observer = obs
-		reg.Gauge("catapult_graph_labels",
-			"Distinct vertex labels in the shared interner after freezing the database.").
-			Set(float64(fstats.Labels))
-		reg.Gauge("catapult_graph_bytes",
-			"Memory footprint in bytes of the frozen database's flat CSR arrays.").
-			Set(float64(fstats.Bytes))
+		if *network == "" {
+			reg.Gauge("catapult_graph_labels",
+				"Distinct vertex labels in the shared interner after freezing the database.").
+				Set(float64(fstats.Labels))
+			reg.Gauge("catapult_graph_bytes",
+				"Memory footprint in bytes of the frozen database's flat CSR arrays.").
+				Set(float64(fstats.Bytes))
+		}
 	}
 
-	res, err := catapult.SelectCtx(ctx, db, cfg)
+	var res *catapult.Result
+	var err error
+	if *network != "" {
+		cfg.Network = bignet.Options{
+			Name: *network, MaxRegionEdges: *regionCap, Reps: *reps,
+		}
+		res, err = runNetwork(ctx, *network, cfg)
+	} else {
+		res, err = catapult.SelectCtx(ctx, db, cfg)
+	}
 	if lt != nil {
 		lt.WriteSummary()
 	}
@@ -159,7 +186,7 @@ func main() {
 		defer w.Close()
 	}
 	patterns := res.PatternGraphs()
-	if *basic > 0 {
+	if *basic > 0 && db != nil {
 		basics := freqmine.BasicPatterns(db, *basic)
 		fmt.Fprintf(os.Stderr, "basic patterns (size ≤ 2): %d\n", len(basics))
 		patterns = append(basics, patterns...)
@@ -172,6 +199,42 @@ func main() {
 	} else if err := graph.Write(w, pdb); err != nil {
 		fatal(err)
 	}
+}
+
+// runNetwork streams the network file (text edge list or binary,
+// autodetected by magic), decomposes it and selects patterns over the
+// region summaries. Load progress and decomposition stages report to any
+// tracer/observer already configured on ctx/cfg.
+func runNetwork(ctx context.Context, path string, cfg catapult.Config) (*catapult.Result, error) {
+	nf, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer nf.Close()
+	br := bufio.NewReaderSize(nf, 256*1024)
+	lctx := ctx
+	if cfg.Observer != nil {
+		lctx = pipeline.WithTrace(ctx, pipeline.Tee(cfg.Observer, pipeline.From(ctx)))
+	}
+	var frozen *graph.Frozen
+	var st *bignet.LoadStats
+	if peek, _ := br.Peek(len(bignet.BinaryMagic)); string(peek) == bignet.BinaryMagic {
+		frozen, st, err = bignet.LoadBinaryCtx(lctx, br, bignet.LoadOptions{})
+	} else {
+		frozen, st, err = bignet.LoadEdgeListCtx(lctx, br, bignet.LoadOptions{})
+	}
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "network %s: %s\n", path, st)
+
+	nres, err := catapult.SelectNetworkCtx(ctx, frozen, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "decomposition: %d regions, %d representatives in %v\n",
+		len(nres.Decomposition.Regions), nres.Decomposition.Reps, nres.DecomposeTime)
+	return nres.Result, nil
 }
 
 // serveMetrics starts the -metrics-addr observability server in the

@@ -1,17 +1,23 @@
 // Command datagen generates synthetic molecule-like graph databases (the
 // offline stand-ins for the paper's AIDS/PubChem/eMolecules datasets) in
-// the transaction text format understood by cmd/catapult.
+// the transaction text format understood by cmd/catapult, or — with
+// -network — a single large R-MAT network in the SNAP-style edge-list
+// formats understood by cmd/catapult -network.
 //
 // Usage:
 //
 //	datagen -kind aids -n 1000 -seed 42 > aids1k.txt
+//	datagen -network -vertices 131072 -edges 1000000 -seed 42 -out net.txt
+//	datagen -network -format bin -out net.bnet
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"repro/internal/bignet"
 	"repro/internal/dataset"
 	"repro/internal/graph"
 )
@@ -26,8 +32,48 @@ func main() {
 		minV = flag.Int("minv", 12, "custom: minimum vertices per graph")
 		maxV = flag.Int("maxv", 32, "custom: maximum vertices per graph")
 		fams = flag.Int("families", 0, "custom: number of scaffold families (0 = auto)")
+
+		network = flag.Bool("network", false, "generate one large R-MAT network instead of a molecule database")
+		nv      = flag.Int("vertices", 1<<17, "network: vertex count (rounded up to a power of two)")
+		ne      = flag.Int("edges", 1_000_000, "network: generated edge lines (before dedup)")
+		vlabels = flag.Int("vlabels", 8, "network: vertex-label alphabet size")
+		format  = flag.String("format", "text", "network: output format, text | bin")
 	)
 	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *network {
+		cfg := dataset.NetworkConfig{
+			Name: "rmat", Vertices: *nv, Edges: *ne, Labels: *vlabels, Seed: *seed,
+		}
+		switch *format {
+		case "text":
+			if err := dataset.WriteNetworkText(w, cfg); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "generated %s: ~%d vertices, %d edge lines (text)\n", cfg.Name, *nv, *ne)
+		case "bin":
+			f := dataset.NetworkFrozen(cfg)
+			if err := bignet.WriteBinary(w, f); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "generated %s: %d vertices, %d edges (binary)\n",
+				cfg.Name, f.NumVertices(), f.NumEdges())
+		default:
+			fmt.Fprintf(os.Stderr, "datagen: unknown -format %q (want text or bin)\n", *format)
+			os.Exit(2)
+		}
+		return
+	}
 
 	var db *graph.DB
 	switch *kind {
@@ -48,18 +94,12 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "generated %s: %s\n", db.Name, db.ComputeStats())
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "datagen:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
-	}
 	if err := graph.Write(w, db); err != nil {
-		fmt.Fprintln(os.Stderr, "datagen:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
 }

@@ -1,0 +1,161 @@
+// Deterministic edge partitioning: the big-graph replacement for coarse
+// clustering.
+//
+// Coarse clustering groups whole small graphs; a single network has
+// nothing to group, so we partition its edge set instead. Seeds are
+// vertices in (degree desc, id asc) order — hubs first, so dense
+// neighborhoods become coherent regions — and each region grows by BFS
+// from its seed, claiming unassigned edges until the size cap. A seed is
+// revisited until no unassigned edge remains incident to it (a capped
+// region can strand edges at its own seed), which is what makes coverage
+// total: when the seed loop passes vertex s, every edge incident to s is
+// assigned, and every edge is incident to some vertex.
+//
+// The whole pass is sequential and iterates sorted CSR rows, so the
+// partition is a pure function of the frozen network — bit-identical
+// across GOMAXPROCS settings and runs, which the differential suite and
+// FuzzPartitionInvariants pin (every edge in exactly one region, sizes
+// within the cap).
+package bignet
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/pipeline"
+)
+
+// Region is one element of the edge partition.
+type Region struct {
+	// ID is the region's index in Decomposition.Regions.
+	ID int
+	// Seed is the vertex the region was grown from.
+	Seed int32
+	// Edges holds the claimed edges as interleaved canonical (u <= v)
+	// pairs in claim order. Claim order is a BFS order: every prefix of
+	// the list is a connected subgraph.
+	Edges []int32
+	// Vertices is the number of distinct endpoints in Edges.
+	Vertices int
+}
+
+// NumEdges returns the region's edge count.
+func (r *Region) NumEdges() int { return len(r.Edges) / 2 }
+
+func packEdge(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// edgeIndex resolves edge keys to dense edge IDs by binary search over
+// the sorted key array.
+type edgeIndex []uint64
+
+func newEdgeIndex(f *graph.Frozen) edgeIndex {
+	ep := f.EdgePairs()
+	keys := make(edgeIndex, 0, len(ep)/2)
+	for i := 0; i < len(ep); i += 2 {
+		keys = append(keys, packEdge(ep[i], ep[i+1]))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func (ix edgeIndex) id(u, v int32) int {
+	key := packEdge(u, v)
+	lo, hi := 0, len(ix)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo // callers only query existing edges
+}
+
+// partitionEdges splits the network's edges into BFS-grown regions of at
+// most maxEdges edges each.
+func partitionEdges(ctx context.Context, f *graph.Frozen, maxEdges int) ([]Region, error) {
+	tr := pipeline.From(ctx)
+	n := int32(f.NumVertices())
+	ix := newEdgeIndex(f)
+	assigned := make([]bool, len(ix))
+
+	// Seed order: degree desc, id asc.
+	seeds := make([]int32, n)
+	for v := int32(0); v < n; v++ {
+		seeds[v] = v
+	}
+	sort.Slice(seeds, func(i, j int) bool {
+		di, dj := f.Degree(seeds[i]), f.Degree(seeds[j])
+		if di != dj {
+			return di > dj
+		}
+		return seeds[i] < seeds[j]
+	})
+
+	// mark[v] == region ID of the region currently visiting v; -1 never.
+	mark := make([]int32, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+
+	var regions []Region
+	var queue []int32
+	for _, s := range seeds {
+		for hasUnassigned(f, ix, assigned, s) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			id := int32(len(regions))
+			reg := Region{ID: int(id), Seed: s}
+			queue = queue[:0]
+			queue = append(queue, s)
+			mark[s] = id
+			reg.Vertices = 1
+		grow:
+			for len(queue) > 0 {
+				v := queue[0]
+				queue = queue[1:]
+				for _, w := range f.Neighbors(v) {
+					eid := ix.id(v, w)
+					if assigned[eid] {
+						continue
+					}
+					assigned[eid] = true
+					if v <= w {
+						reg.Edges = append(reg.Edges, v, w)
+					} else {
+						reg.Edges = append(reg.Edges, w, v)
+					}
+					if mark[w] != id {
+						mark[w] = id
+						reg.Vertices++
+						queue = append(queue, w)
+					}
+					if len(reg.Edges)/2 >= maxEdges {
+						break grow
+					}
+				}
+			}
+			regions = append(regions, reg)
+		}
+	}
+	tr.Add(pipeline.CounterNetRegions, int64(len(regions)))
+	return regions, nil
+}
+
+// hasUnassigned reports whether any edge incident to s is unassigned.
+func hasUnassigned(f *graph.Frozen, ix edgeIndex, assigned []bool, s int32) bool {
+	for _, w := range f.Neighbors(s) {
+		if !assigned[ix.id(s, w)] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+// Region summarization: random-walk sampling of representative
+// subgraphs, the unit of coverage for large-network selection.
+//
+// A region is too big to be a pattern source directly (thousands of
+// edges), so each region contributes a handful of pattern-sized
+// connected subgraphs sampled by seeded edge-growth walks — the same
+// primitive the query-workload generator uses. Small regions contribute
+// themselves. The flattened representatives, in region order, become the
+// synthetic DB.
+//
+// Determinism: regions are processed in parallel (par.ForCtx, one output
+// slot per region), but each region derives its own RNG from
+// mix(seed, regionID) and writes only its own slot — so the result is
+// independent of scheduling and GOMAXPROCS, and identical across runs
+// with the same seed. When a walk fails (tight cap, disconnected
+// frontier), the fallback is the claim-order prefix of the region's
+// edges, which is connected by construction.
+package bignet
+
+import (
+	"context"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/pipeline"
+)
+
+// mix derives a per-region RNG seed from the run seed, splitmix64-style,
+// so neighboring region IDs get uncorrelated streams.
+func mix(seed int64, region int) int64 {
+	z := uint64(seed) + uint64(region)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// regionGraph materializes the first limit edges of reg (claim order) as
+// a mutable graph with dense local vertex IDs in first-seen order and
+// labels resolved through the network's interner. limit <= 0 means all.
+func regionGraph(f *graph.Frozen, reg *Region, limit int) *graph.Graph {
+	m := reg.NumEdges()
+	if limit > 0 && limit < m {
+		m = limit
+	}
+	local := make(map[int32]graph.VertexID, 2*m)
+	g := graph.New(2*m, m)
+	vertex := func(v int32) graph.VertexID {
+		if lv, ok := local[v]; ok {
+			return lv
+		}
+		lv := g.AddVertex(f.LabelString(v))
+		local[v] = lv
+		return lv
+	}
+	for i := 0; i < 2*m; i += 2 {
+		u := vertex(reg.Edges[i])
+		v := vertex(reg.Edges[i+1])
+		g.MustAddEdge(u, v)
+	}
+	return g
+}
+
+// summarize samples representative subgraphs for every region, in
+// parallel, and returns them flattened in (region, rep) order.
+func summarize(ctx context.Context, f *graph.Frozen, regions []Region, opts Options) ([]*graph.Graph, error) {
+	tr := pipeline.From(ctx)
+	perRegion := make([][]*graph.Graph, len(regions))
+	err := par.ForCtx(ctx, len(regions), func(i int) {
+		reg := &regions[i]
+		full := regionGraph(f, reg, 0)
+		if reg.NumEdges() <= opts.RepMaxEdges {
+			perRegion[i] = []*graph.Graph{full}
+			return
+		}
+		rng := rand.New(rand.NewSource(mix(opts.Seed, reg.ID)))
+		reps := make([]*graph.Graph, 0, opts.Reps)
+		for r := 0; r < opts.Reps; r++ {
+			size := opts.RepMinEdges + rng.Intn(opts.RepMaxEdges-opts.RepMinEdges+1)
+			g := graph.RandomConnectedSubgraph(full, size, rng)
+			if g == nil {
+				g = regionGraph(f, reg, size) // connected claim-order prefix
+			}
+			reps = append(reps, g)
+		}
+		perRegion[i] = reps
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*graph.Graph
+	for _, reps := range perRegion {
+		out = append(out, reps...)
+	}
+	tr.Add(pipeline.CounterNetRepsSampled, int64(len(out)))
+	return out, nil
+}

@@ -104,8 +104,9 @@ func Intern(label string) LabelID { return sharedInterner.Intern(label) }
 // Frozen is an immutable CSR snapshot of a Graph. All slices are owned by
 // the Frozen and must not be modified.
 type Frozen struct {
-	g  *Graph
+	g  *Graph // nil for standalone snapshots built by FrozenBuilder
 	in *Interner
+	id int // graph ID, preserved through Thaw
 
 	offsets   []int32 // len n+1; neighbors of v are neighbors[offsets[v]:offsets[v+1]]
 	neighbors []int32 // concatenated sorted adjacency lists
@@ -136,6 +137,7 @@ func (g *Graph) buildFrozen(in *Interner) *Frozen {
 	f := &Frozen{
 		g:          g,
 		in:         in,
+		id:         g.ID,
 		offsets:    make([]int32, n+1),
 		labels:     make([]LabelID, n),
 		labelCount: make(map[LabelID]int32, 8),
@@ -165,8 +167,14 @@ func (g *Graph) buildFrozen(in *Interner) *Frozen {
 	return f
 }
 
-// Graph returns the mutable graph this snapshot was frozen from.
+// Graph returns the mutable graph this snapshot was frozen from, or nil
+// for a standalone snapshot built directly in CSR form by a FrozenBuilder
+// (use Thaw to materialize one).
 func (f *Frozen) Graph() *Graph { return f.g }
+
+// ID returns the graph ID carried by the snapshot (Graph.ID at freeze
+// time, or the ID given to FrozenBuilder.Build).
+func (f *Frozen) ID() int { return f.id }
 
 // Interner returns the interner that issued this snapshot's LabelIDs.
 func (f *Frozen) Interner() *Interner { return f.in }
@@ -228,7 +236,11 @@ func (f *Frozen) MatchingOrder() []int32 {
 	if p := f.order.Load(); p != nil {
 		return *p
 	}
-	ord := MatchingOrder(f.g)
+	src := f.g
+	if src == nil {
+		src = f.Thaw() // standalone snapshot: order via a throwaway thaw
+	}
+	ord := MatchingOrder(src)
 	out := make([]int32, len(ord))
 	for i, v := range ord {
 		out[i] = int32(v)
@@ -269,7 +281,7 @@ func (f *Frozen) Bytes() int64 {
 // labels are not captured by Freeze and are absent from the result.
 func (f *Frozen) Thaw() *Graph {
 	g := New(len(f.labels), len(f.edges)/2)
-	g.ID = f.g.ID
+	g.ID = f.id
 	for _, id := range f.labels {
 		g.AddVertex(f.in.LabelString(id))
 	}

@@ -61,6 +61,15 @@ const (
 	// StageSelect is greedy canned-pattern selection (Algorithm 4). Its
 	// duration is the paper's PGT measure.
 	StageSelect Stage = "select"
+	// StageNetLoad spans streaming construction of a frozen CSR network
+	// from an edge list (internal/bignet loaders).
+	StageNetLoad Stage = "net-load"
+	// StageNetPartition spans deterministic edge-partitioning of a large
+	// network into capped regions (internal/bignet).
+	StageNetPartition Stage = "net-partition"
+	// StageNetSummarize spans random-walk sampling of per-region
+	// representative subgraphs into the synthetic summary DB.
+	StageNetSummarize Stage = "net-summarize"
 )
 
 // Counter names a monotonically accumulated pipeline statistic.
@@ -112,6 +121,17 @@ const (
 	// MCS/MCCS search because an isomorphic pair was already being
 	// computed in the same fine-clustering batch.
 	CounterClusterPairsPruned Counter = "cluster_pairs_pruned"
+	// CounterNetEdgesLoaded counts edge lines accepted by the streaming
+	// network loaders, reported in batches as load progresses.
+	CounterNetEdgesLoaded Counter = "bignet_edges_loaded"
+	// CounterNetEdgesDropped counts input lines the loaders skipped:
+	// malformed, self-loop, or duplicate edges.
+	CounterNetEdgesDropped Counter = "bignet_edges_dropped"
+	// CounterNetRegions counts regions produced by edge partitioning.
+	CounterNetRegions Counter = "bignet_regions"
+	// CounterNetRepsSampled counts representative subgraphs sampled from
+	// regions into the summary DB.
+	CounterNetRepsSampled Counter = "bignet_reps_sampled"
 )
 
 // Trace observes pipeline execution. Implementations must be safe for

@@ -9,13 +9,17 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bignet"
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/graph"
 	"repro/internal/serve"
 )
 
 // growingSource is a Source whose database grows on every refresh, with
-// Maintainer-style replacement semantics (fresh slices per refresh).
+// Maintainer-style replacement semantics (fresh slices per refresh). The
+// initial state is pluggable, so the same replay harness runs against
+// both the small-graph dataset and a bignet region-summary snapshot.
 type growingSource struct {
 	mu    sync.Mutex
 	state serve.State
@@ -32,7 +36,16 @@ func chain(labels ...string) *graph.Graph {
 	return g
 }
 
+func sourceFrom(st serve.State) *growingSource {
+	return &growingSource{state: st}
+}
+
 func newGrowingSource() *growingSource {
+	return sourceFrom(smallGraphState())
+}
+
+// smallGraphState is the original hand-built molecule-style snapshot.
+func smallGraphState() serve.State {
 	gs := []*graph.Graph{
 		chain("C", "O", "N"),
 		chain("C", "C", "O"),
@@ -47,12 +60,51 @@ func newGrowingSource() *growingSource {
 	for i := range gs {
 		members[i] = i
 	}
-	return &growingSource{state: serve.State{
+	return serve.State{
 		Dataset:  "growing",
 		DB:       graph.NewDB("growing", gs),
 		Patterns: patterns,
 		Clusters: [][]int{members},
-	}}
+	}
+}
+
+// bignetState decomposes a small generated R-MAT network and serves its
+// region summaries: the DB is the synthetic per-region database and the
+// pattern panel is drawn from the representatives, exactly the shape a
+// NetworkSource-backed tenant exposes.
+func bignetState(tb testing.TB) serve.State {
+	tb.Helper()
+	f := dataset.NetworkFrozen(dataset.NetworkConfig{
+		Name: "load-net", Vertices: 256, Edges: 1500, Labels: 5, Seed: 7,
+	})
+	dec, err := bignet.Decompose(context.Background(), f, bignet.Options{
+		Name: "load-net", MaxRegionEdges: 64, Reps: 2, Seed: 7, SeedSet: true,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if len(dec.DB.Graphs) == 0 {
+		tb.Fatal("decomposition produced no region summaries")
+	}
+	patterns := make([]*core.Pattern, 0, 4)
+	for i, g := range dec.DB.Graphs {
+		if i == 4 {
+			break
+		}
+		patterns = append(patterns, &core.Pattern{
+			Graph: g, Score: 1 - float64(i)*0.1, Ccov: 0.5, Lcov: 1, Div: 1, Cog: 1,
+		})
+	}
+	members := make([]int, len(dec.DB.Graphs))
+	for i := range members {
+		members[i] = i
+	}
+	return serve.State{
+		Dataset:  dec.DB.Name,
+		DB:       dec.DB,
+		Patterns: patterns,
+		Clusters: [][]int{members},
+	}
 }
 
 func (s *growingSource) State() serve.State {
@@ -85,9 +137,25 @@ func (s *growingSource) Refresh(ctx context.Context, gs []*graph.Graph) error {
 // serving layer: simulated users hammer the read endpoints while a
 // refresher swaps snapshots underneath them, and every response must be
 // internally consistent — zero torn reads, zero version regressions, zero
-// request errors.
+// request errors. It runs once against the small-graph dataset and once
+// against a bignet region-summary snapshot, so the large-network serving
+// path replays through the same usersim harness.
 func TestLoadReplayUnderConcurrentRefresh(t *testing.T) {
-	src := newGrowingSource()
+	cases := []struct {
+		name  string
+		state func(testing.TB) serve.State
+	}{
+		{"smallgraphs", func(testing.TB) serve.State { return smallGraphState() }},
+		{"bignet", bignetState},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			replayUnderRefresh(t, sourceFrom(tc.state(t)))
+		})
+	}
+}
+
+func replayUnderRefresh(t *testing.T, src *growingSource) {
 	s := serve.NewServer(serve.Options{})
 	tn, err := s.AddTenant(serve.DefaultTenant, src)
 	if err != nil {
@@ -156,6 +224,9 @@ func TestLoadReplayUnderConcurrentRefresh(t *testing.T) {
 	if res.MaxVersion <= res.MinVersion {
 		t.Errorf("users observed no version movement ([%d,%d]); churn not visible",
 			res.MinVersion, res.MaxVersion)
+	}
+	if res.P99 <= 0 {
+		t.Errorf("p99 = %v, want > 0 (latency histogram empty)", res.P99)
 	}
 }
 

@@ -1,0 +1,111 @@
+package catapult
+
+// Large-network entry points: canned-pattern selection over one big
+// graph instead of a database of small graphs (the successor-work
+// scenario, arXiv 2107.09952). The network is streamed into a frozen CSR
+// (LoadNetworkCtx / LoadNetworkBinaryCtx), decomposed into capped edge
+// regions with sampled representative subgraphs (internal/bignet), and
+// the resulting synthetic region-summary DB runs through the standard
+// cluster→CSG→select pipeline unchanged (SelectCtx).
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bignet"
+	"repro/internal/pipeline"
+)
+
+// NetworkResult is the output of SelectNetworkCtx: the standard pipeline
+// Result over the region-summary database, plus the network-specific
+// artifacts.
+type NetworkResult struct {
+	*Result
+	// Network is the frozen input network.
+	Network *Frozen
+	// Decomposition holds the edge partition and the synthetic summary
+	// DB the pipeline ran on (also reachable as Result.WorkingDB).
+	Decomposition *NetworkDecomposition
+	// DecomposeTime is the wall-clock duration of partitioning plus
+	// summarization.
+	DecomposeTime time.Duration
+}
+
+// LoadNetworkCtx streams a SNAP-style text edge list ("u v" lines,
+// optional "v id label" declarations, "#" comments) into a frozen CSR
+// network. Malformed lines, self-loops and duplicates are counted in the
+// returned stats and skipped, never fatal. Progress is reported on any
+// Observer installed on ctx via pipeline.WithTrace.
+func LoadNetworkCtx(ctx context.Context, r io.Reader, opts NetworkLoadOptions) (*Frozen, *NetworkLoadStats, error) {
+	return bignet.LoadEdgeListCtx(ctx, r, opts)
+}
+
+// LoadNetworkBinaryCtx streams the compact binary network format
+// (written by WriteNetworkBinary) into a frozen CSR network.
+func LoadNetworkBinaryCtx(ctx context.Context, r io.Reader, opts NetworkLoadOptions) (*Frozen, *NetworkLoadStats, error) {
+	return bignet.LoadBinaryCtx(ctx, r, opts)
+}
+
+// WriteNetworkBinary dumps a frozen network in the compact binary format
+// read by LoadNetworkBinaryCtx.
+func WriteNetworkBinary(w io.Writer, f *Frozen) error {
+	return bignet.WriteBinary(w, f)
+}
+
+// DecomposeNetworkCtx partitions the frozen network into capped edge
+// regions and samples per-region representative subgraphs into a
+// synthetic DB, without running selection. SelectNetworkCtx composes
+// this with SelectCtx; call it directly to inspect or reuse a
+// decomposition.
+func DecomposeNetworkCtx(ctx context.Context, f *Frozen, cfg Config) (*NetworkDecomposition, error) {
+	cfg.defaults()
+	ctx = pipeline.WithTrace(ctx, pipeline.Tee(cfg.Observer, pipeline.From(ctx)))
+	return bignet.Decompose(ctx, f, cfg.Network)
+}
+
+// SelectNetworkCtx runs canned-pattern selection over one large network:
+// decompose into region summaries (Config.Network), then run the
+// standard pipeline (Config.Budget/Clustering/Selection/...) on the
+// summary DB. Cancellation, degradation and observability behave exactly
+// as in SelectCtx; the decomposition stages additionally report
+// net-partition / net-summarize spans and bignet_* counters.
+func SelectNetworkCtx(stdctx context.Context, f *Frozen, cfg Config) (*NetworkResult, error) {
+	cfg.defaults()
+	if f == nil {
+		return nil, fmt.Errorf("catapult: nil network")
+	}
+
+	// The decomposition runs under its own recorder (merged into the
+	// final Counters below) teed with the caller's observer and any
+	// tracer already on the context.
+	rec := pipeline.NewRecorder()
+	dctx := pipeline.WithTrace(stdctx, pipeline.Tee(rec, cfg.Observer, pipeline.From(stdctx)))
+	start := time.Now()
+	dec, err := bignet.Decompose(dctx, f, cfg.Network)
+	if err != nil {
+		return nil, err
+	}
+	decomposeTime := time.Since(start)
+	if dec.DB.Len() == 0 {
+		return nil, fmt.Errorf("catapult: network produced no region summaries (empty network?)")
+	}
+
+	// SelectCtx tees its own recorder with the caller's observer and
+	// context tracer; hand it the original context (not dctx, whose tee
+	// includes rec) so decomposition counters are not double-counted.
+	res, err := SelectCtx(stdctx, dec.DB, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for c, n := range rec.Counters() {
+		res.Counters[c] += n
+	}
+	return &NetworkResult{
+		Result:        res,
+		Network:       f,
+		Decomposition: dec,
+		DecomposeTime: decomposeTime,
+	}, nil
+}

@@ -1,0 +1,86 @@
+package catapult
+
+// NetworkSource fronts a large network for the serving layer: the tenant
+// state is the full selection pipeline re-run against the network's edge
+// stream. A refresh reloads the network through the supplied loader,
+// decomposes it and re-selects patterns; only a fully successful run
+// replaces the served state, so readers stay on the last-good snapshot
+// when a reload fails mid-stream (cancellation, I/O error, selection
+// failure) — the same transactional contract the Maintainer source
+// keeps.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// NetworkLoader produces the current frozen network, typically by
+// opening and streaming the tenant's edge file via LoadNetworkCtx. It is
+// called once per refresh; the passed context carries cancellation and
+// any installed Observer.
+type NetworkLoader func(ctx context.Context) (*Frozen, error)
+
+// NetworkSource serves a large-network tenant. Create with
+// NewNetworkSourceCtx and register on a PatternServer with AddTenant.
+type NetworkSource struct {
+	load NetworkLoader
+	cfg  Config
+
+	mu    sync.Mutex
+	state serve.State
+}
+
+// NewNetworkSourceCtx builds a network-backed serving source and runs
+// the initial load → decompose → select so the source is immediately
+// servable. cfg.Network.Name labels the dataset.
+func NewNetworkSourceCtx(ctx context.Context, load NetworkLoader, cfg Config) (*NetworkSource, error) {
+	s := &NetworkSource{load: load, cfg: cfg}
+	if err := s.reload(ctx); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// State implements serve.Source.
+func (s *NetworkSource) State() serve.State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Refresh implements serve.Source: a nil batch reloads the network from
+// its edge stream end to end. Per-graph batches are not meaningful for a
+// network tenant (the network is the unit of refresh) and are rejected,
+// leaving the served state untouched.
+func (s *NetworkSource) Refresh(ctx context.Context, gs []*graph.Graph) error {
+	if len(gs) > 0 {
+		return fmt.Errorf("catapult: network source refreshes from its edge stream; per-graph batches are not supported")
+	}
+	return s.reload(ctx)
+}
+
+// reload runs the full network pipeline and swaps the served state in
+// only on complete success.
+func (s *NetworkSource) reload(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.load(ctx)
+	if err != nil {
+		return err
+	}
+	res, err := SelectNetworkCtx(ctx, f, s.cfg)
+	if err != nil {
+		return err
+	}
+	s.state = serve.State{
+		Dataset:  res.WorkingDB.Name,
+		DB:       res.WorkingDB,
+		Patterns: res.Patterns,
+		Clusters: res.Clusters,
+	}
+	return nil
+}
