@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci build vet fmt test race diff-race chaos api-lock serve-race bignet-race fuzz-bignet bench bench-gate bench-gate-cluster bench-gate-resilience bench-gate-graph bench-gate-serve bench-gate-bignet
+.PHONY: check ci build vet fmt test race diff-race chaos chaos-store api-lock serve-race bignet-race fuzz-bignet fuzz-store bench bench-gate bench-gate-cluster bench-gate-resilience bench-gate-graph bench-gate-serve bench-gate-bignet bench-gate-restart
 
 # check is the CI gate: vet, formatting, and the full test suite under the
 # race detector.
@@ -9,13 +9,15 @@ check: vet fmt race
 # ci extends check with the differential suites pinned explicitly under the
 # race detector — the bit-identity proofs for the coverage engine
 # (internal/cover), the similarity engine (internal/simcache), the
-# frozen-graph representation (root frozen_diff_test.go), and the
-# large-network decomposition (internal/bignet + root bignet_diff_test.go)
-# — the fault-injection chaos suite for the resilience and serving layers,
+# frozen-graph representation (root frozen_diff_test.go), the
+# large-network decomposition (internal/bignet + root bignet_diff_test.go),
+# and the durable-state warm restart (root maintain_persist_test.go) — the
+# fault-injection chaos suites for the resilience, serving, and snapshot
+# layers (chaos-store is the crash/corruption wall for the state store),
 # the public-API gates (api-lock walk + external-consumer compile smoke),
-# the large-network race + fuzz-seed suite, and the frozen-matcher, serving,
-# and large-network benchmark gates.
-ci: check diff-race chaos api-lock serve-race bignet-race bench-gate-graph bench-gate-serve bench-gate-bignet
+# the large-network race + fuzz-seed suite, and the frozen-matcher,
+# serving, large-network, and warm-restart benchmark gates.
+ci: check diff-race chaos chaos-store api-lock serve-race bignet-race bench-gate-graph bench-gate-serve bench-gate-bignet bench-gate-restart
 
 # api-lock pins the public facade: the go/types walk fails when an exported
 # root identifier references an internal/ type with no root-package alias,
@@ -55,6 +57,17 @@ diff-race:
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos' ./...
 
+# chaos-store runs the crash/corruption fault-injection wall for the
+# durable state store under -race: a writer killed at byte N of the
+# persist path (swept per-byte), kills after commit, every section of a
+# snapshot flipped/zeroed/truncated, and persist kills mid-refresh at the
+# maintainer level. Recovery must load the previous generation
+# bit-identically or report a typed degraded start — never panic, never
+# serve partial state.
+chaos-store:
+	$(GO) test -race -count=1 -run 'Chaos' ./internal/store/
+	$(GO) test -race -count=1 -run 'TestMaintainerChaos' .
+
 # serve-race runs the pattern service and its replayed-user load harness
 # under the race detector without caching: lock-free snapshot reads,
 # coalesced searches, and concurrent refreshes must be race-clean and
@@ -78,7 +91,13 @@ fuzz-bignet:
 	$(GO) test -run '^$$' -fuzz '^FuzzBinaryLoader$$' -fuzztime $(FUZZTIME) ./internal/bignet/
 	$(GO) test -run '^$$' -fuzz '^FuzzPartitionInvariants$$' -fuzztime $(FUZZTIME) ./internal/bignet/
 
-bench: bench-gate bench-gate-cluster bench-gate-resilience bench-gate-graph bench-gate-serve bench-gate-bignet
+# fuzz-store gives the snapshot loader a timed coverage-guided session:
+# Decode over hostile bytes must never panic or over-allocate, and
+# anything it accepts must re-encode and re-decode stably.
+fuzz-store:
+	$(GO) test -run '^$$' -fuzz '^FuzzSnapshotLoader$$' -fuzztime $(FUZZTIME) ./internal/store/
+
+bench: bench-gate bench-gate-cluster bench-gate-resilience bench-gate-graph bench-gate-serve bench-gate-bignet bench-gate-restart
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # bench-gate runs the coverage-engine regression gate: it writes
@@ -126,3 +145,12 @@ bench-gate-serve:
 # local iteration (thresholds only bind at the full size).
 bench-gate-bignet:
 	BENCH_GATE_BIGNET=1 $(GO) test -run '^TestBignetBenchGate$$' -count=1 -timeout 600s .
+
+# bench-gate-restart runs the warm-restart regression gate: recovering the
+# quickstart serving state from a CSNAP1 snapshot (LoadState +
+# NewMaintainerFromState) is timed against mining it from scratch. It
+# writes BENCH_restart.json and fails when the warm restart is less than
+# 10x faster than the cold mine, or when the recovered state is not
+# bit-identical to the state that was persisted.
+bench-gate-restart:
+	BENCH_GATE_RESTART=1 $(GO) test -run '^TestRestartBenchGate$$' -count=1 -timeout 600s .

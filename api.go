@@ -10,6 +10,7 @@ package catapult
 
 import (
 	"io"
+	"io/fs"
 
 	"repro/internal/bignet"
 	"repro/internal/cluster"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/resilience"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 // Graph is a small labeled data graph (vertices with string labels,
@@ -242,3 +244,50 @@ type NetworkRegion = bignet.Region
 // NetworkDecomposition is the edge partition of a network plus the
 // synthetic region-summary database the pipeline runs on.
 type NetworkDecomposition = bignet.Decomposition
+
+// StoredState is the full durable serving state captured in one CSNAP1
+// snapshot: the database, the selected patterns, cluster membership, the
+// gindex persist payload and the Maintainer's retry bookkeeping. Produce
+// one with Maintainer.SnapshotState, persist with SaveState, recover with
+// LoadState, and resume with NewMaintainerFromState.
+type StoredState = store.State
+
+// StoredPattern is one canned pattern as persisted in a snapshot: the
+// pattern graph plus its exact score breakdown (StoredState.Patterns).
+type StoredPattern = store.Pattern
+
+// SnapshotStore manages generation-numbered CSNAP1 snapshots in one
+// directory: atomic durable writes (temp file, fsync, rename, directory
+// fsync), bounded retention, newest-first verified recovery. Open one
+// with OpenStateStore.
+type SnapshotStore = store.Store
+
+// StoreRecovery reports what a recovery scan did: the generation loaded,
+// how many were examined, and every generation skipped as unverifiable
+// with its typed fault. Feed it to ObserveRecovery for the
+// catapult_store_* metrics.
+type StoreRecovery = store.RecoveryInfo
+
+// StoreSkippedGeneration is one snapshot generation recovery could not
+// verify, with the typed corruption fault (StoreRecovery.Skipped).
+type StoreSkippedGeneration = store.SkippedGeneration
+
+// StoreCorruptError is the typed fault reported for any snapshot that
+// fails verification — bad magic, CRC mismatch, truncation, hostile
+// lengths. Recovery skips the generation and falls back; it never panics.
+type StoreCorruptError = store.CorruptError
+
+// ErrNoSnapshot is returned by LoadState when no verifiable snapshot
+// exists; the accompanying StoreRecovery tells a clean cold start apart
+// from a degraded one (every generation corrupt).
+var ErrNoSnapshot = store.ErrNoSnapshot
+
+// OpenStateStore opens (creating if needed) a snapshot store in dir.
+func OpenStateStore(dir string) (*SnapshotStore, error) { return store.Open(dir) }
+
+// AtomicWriteFile writes data to path atomically and durably: temp file,
+// fsync, rename over path, directory fsync. A reader only ever observes
+// the previous or the new complete file, never a torn mixture.
+func AtomicWriteFile(path string, data []byte, perm fs.FileMode) error {
+	return store.AtomicWriteFile(path, data, perm)
+}

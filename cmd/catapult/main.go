@@ -25,6 +25,9 @@ import (
 	"net/http"
 	netpprof "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	catapult "repro"
 	"repro/internal/bignet"
@@ -58,6 +61,7 @@ func main() {
 		health   = flag.Bool("health", false, "print the per-stage degradation report to stderr after the run")
 		trace    = flag.Bool("trace", false, "log pipeline stages and counters to stderr")
 		maddr    = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof/ on this address while the pipeline runs (for long runs; e.g. :9090)")
+		stateDir = flag.String("state-dir", "", "durable snapshot directory (database mode): reuse the newest verifiable snapshot instead of re-mining, and persist the result after a fresh mine")
 
 		network   = flag.String("network", "", "treat the file as one large network (edge list or binary) instead of a graph database")
 		regionCap = flag.Int("region-cap", 0, "network: maximum edges per decomposition region (0 = default)")
@@ -118,7 +122,12 @@ func main() {
 		cfg.Degradation = resilience.Config{Enabled: true, Deadline: *deadline}
 	}
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the pipeline cooperatively: with -deadline the
+	// run degrades to its best partial result, otherwise it unwinds
+	// transactionally and exits. Either way the metrics server (below)
+	// still drains in-flight scrapes before the process ends.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -130,8 +139,15 @@ func main() {
 		ctx = pipeline.WithTrace(ctx, lt)
 	}
 	if *maddr != "" {
-		obs, reg := serveMetrics(*maddr)
+		obs, reg, shutdown := serveMetrics(*maddr)
 		cfg.Observer = obs
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := shutdown(sctx); err != nil {
+				fmt.Fprintf(os.Stderr, "catapult: metrics shutdown: %v\n", err)
+			}
+		}()
 		if *network == "" {
 			reg.Gauge("catapult_graph_labels",
 				"Distinct vertex labels in the shared interner after freezing the database.").
@@ -144,13 +160,20 @@ func main() {
 
 	var res *catapult.Result
 	var err error
+	mined := false
 	if *network != "" {
 		cfg.Network = bignet.Options{
 			Name: *network, MaxRegionEdges: *regionCap, Reps: *reps,
 		}
 		res, err = runNetwork(ctx, *network, cfg)
 	} else {
-		res, err = catapult.SelectCtx(ctx, db, cfg)
+		if *stateDir != "" {
+			res, db = loadSnapshot(*stateDir, cfg, db)
+		}
+		if res == nil {
+			res, err = catapult.SelectCtx(ctx, db, cfg)
+			mined = err == nil
+		}
 	}
 	if lt != nil {
 		lt.WriteSummary()
@@ -159,8 +182,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "catapult: aborted after -timeout %v (no partial result; use -deadline for graceful degradation)\n", *timeout)
 		os.Exit(1)
 	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "catapult: interrupted; no partial result (use -deadline for graceful degradation)")
+		os.Exit(1)
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if mined && *stateDir != "" {
+		if gen, err := saveSnapshot(ctx, *stateDir, db, res); err != nil {
+			fmt.Fprintf(os.Stderr, "catapult: snapshot not persisted: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "catapult: state persisted to %s (generation %d)\n", *stateDir, gen)
+		}
 	}
 	if *health && res.Health != nil {
 		fmt.Fprint(os.Stderr, res.Health)
@@ -201,6 +235,54 @@ func main() {
 	}
 }
 
+// loadSnapshot tries to serve the run from the newest verifiable snapshot
+// in dir instead of re-mining: on a clean or degraded recovery it returns
+// the stored selection as a Result (and the stored database, superseding
+// the -in one); on a cold start it returns (nil, db) and the caller mines.
+// Corruption is never fatal here — recovery's job is to fall back, and a
+// fully unverifiable store simply means a fresh mine.
+func loadSnapshot(dir string, cfg catapult.Config, db *graph.DB) (*catapult.Result, *graph.DB) {
+	st, info, err := catapult.LoadState(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "catapult: %s: mining from scratch\n", info)
+		return nil, db
+	}
+	m, err := catapult.NewMaintainerFromState(st, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "catapult: snapshot unusable (%v): mining from scratch\n", err)
+		return nil, db
+	}
+	fmt.Fprintf(os.Stderr, "catapult: warm start from %s (%s)\n", dir, info)
+	return &catapult.Result{
+		Patterns:  m.Patterns(),
+		Clusters:  st.Clusters,
+		WorkingDB: m.DB(),
+	}, m.DB()
+}
+
+// saveSnapshot persists a fresh mine's state as the next snapshot
+// generation in dir, so the next run warm-starts.
+func saveSnapshot(ctx context.Context, dir string, db *graph.DB, res *catapult.Result) (uint64, error) {
+	pats := make([]catapult.StoredPattern, len(res.Patterns))
+	for i, p := range res.Patterns {
+		pats[i] = catapult.StoredPattern{
+			G: p.Graph, Score: p.Score, Ccov: p.Ccov, Lcov: p.Lcov,
+			Div: p.Div, Cog: p.Cog, SourceCSG: p.SourceCSG,
+		}
+	}
+	work := res.WorkingDB
+	if work == nil {
+		work = db
+	}
+	return catapult.SaveState(ctx, dir, &catapult.StoredState{
+		Dataset:  work.Name,
+		Version:  1,
+		Graphs:   work.Graphs,
+		Patterns: pats,
+		Clusters: res.Clusters,
+	})
+}
+
 // runNetwork streams the network file (text edge list or binary,
 // autodetected by magic), decomposes it and selects patterns over the
 // region summaries. Load progress and decomposition stages report to any
@@ -238,14 +320,14 @@ func runNetwork(ctx context.Context, path string, cfg catapult.Config) (*catapul
 }
 
 // serveMetrics starts the -metrics-addr observability server in the
-// background and returns the pipeline observer feeding it together with
-// the backing registry (for process-level gauges): /metrics serves the
-// OpenMetrics exposition, /healthz liveness, and /debug/pprof/ the
-// standard profiling endpoints (CPU samples carry the pipeline's per-stage
-// labels, so `go tool pprof -tagfocus stage=<name>` isolates one stage of
-// a long run). The server lives for the process; a batch run simply exits
-// with it.
-func serveMetrics(addr string) (catapult.Observer, *metrics.Registry) {
+// background and returns the pipeline observer feeding it, the backing
+// registry (for process-level gauges), and a graceful shutdown hook:
+// /metrics serves the OpenMetrics exposition, /healthz liveness, and
+// /debug/pprof/ the standard profiling endpoints (CPU samples carry the
+// pipeline's per-stage labels, so `go tool pprof -tagfocus stage=<name>`
+// isolates one stage of a long run). main defers the shutdown hook so
+// in-flight scrapes drain before a batch run exits.
+func serveMetrics(addr string) (catapult.Observer, *metrics.Registry, func(context.Context) error) {
 	reg := metrics.NewRegistry()
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
@@ -260,13 +342,14 @@ func serveMetrics(addr string) (catapult.Observer, *metrics.Registry) {
 	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	hs := &http.Server{Addr: addr, Handler: mux}
 	go func() {
-		if err := http.ListenAndServe(addr, mux); err != nil {
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintf(os.Stderr, "catapult: metrics server: %v\n", err)
 		}
 	}()
 	fmt.Fprintf(os.Stderr, "metrics on http://localhost%s/metrics (pprof on /debug/pprof/)\n", addr)
-	return metrics.NewTrace(reg), reg
+	return metrics.NewTrace(reg), reg, hs.Shutdown
 }
 
 func fatal(err error) {

@@ -28,10 +28,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	catapult "repro"
 	"repro/internal/dataset"
@@ -51,8 +56,14 @@ func main() {
 		gamma    = flag.Int("gamma", 12, "number of patterns")
 		seed     = flag.Int64("seed", 42, "random seed")
 		serveAPI = flag.Bool("serve", false, "back the panel with a maintainer and mount the concurrent /v1 pattern API")
+		stateDir = flag.String("state-dir", "", "durable state directory (requires -serve): warm-start from the newest verifiable snapshot, persist every refresh, flush a final snapshot on shutdown")
+		drain    = flag.Duration("drain", 5*time.Second, "graceful-shutdown deadline for draining in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
+	if *stateDir != "" && !*serveAPI {
+		fmt.Fprintln(os.Stderr, "guiserve: -state-dir requires -serve (durable state belongs to the maintainer)")
+		os.Exit(2)
+	}
 
 	var db *graph.DB
 	switch {
@@ -82,12 +93,22 @@ func main() {
 		Seed:       *seed,
 	}
 	var srv *webui.Server
+	var flush func(context.Context) error
 	if *serveAPI {
 		var m *catapult.Maintainer
 		var err error
-		srv, m, err = buildMaintainerServer(context.Background(), db, cfg, reg)
+		srv, m, _, err = buildMaintainerServerState(context.Background(), db, cfg, reg, *stateDir)
 		if err != nil {
 			fatal(err)
+		}
+		if *stateDir != "" {
+			flush = func(ctx context.Context) error {
+				gen, err := m.PersistNow(ctx)
+				if err == nil {
+					fmt.Fprintf(os.Stderr, "guiserve: final snapshot flushed (generation %d)\n", gen)
+				}
+				return err
+			}
 		}
 		fmt.Fprintf(os.Stderr, "selected %d patterns (maintainer-backed)\n", len(m.Patterns()))
 		fmt.Fprintf(os.Stderr, "serving pattern panel + /v1 pattern API on http://localhost%s/ (GET /v1/patterns, POST /v1/search, POST /v1/tenants/%s/refresh; /metrics, /healthz, /debug/pprof/)\n",
@@ -103,9 +124,51 @@ func main() {
 			len(res.Patterns), res.ClusteringTime, res.PatternTime)
 		fmt.Fprintf(os.Stderr, "serving pattern panel on http://localhost%s/ (POST /api/search for retrieval; /metrics, /healthz, /debug/pprof/)\n", *addr)
 	}
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fatal(err)
 	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := gracefulServe(ln, srv, stop, *drain, flush); err != nil {
+		fatal(err)
+	}
+}
+
+// gracefulServe serves h on ln until a signal arrives on stop, then shuts
+// down gracefully: the listener closes (no new connections), in-flight
+// requests get up to drain to complete, and flush — the final snapshot
+// write in -serve -state-dir mode — runs afterwards so the durable state
+// reflects everything the drained requests observed. Split from main so
+// the drain test can run the full lifecycle against a live loadtest
+// fleet.
+func gracefulServe(ln net.Listener, h http.Handler, stop <-chan os.Signal, drain time.Duration, flush func(context.Context) error) error {
+	hs := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "guiserve: %v: draining in-flight requests (deadline %v)\n", sig, drain)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := hs.Shutdown(ctx)
+	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	if flush != nil {
+		// The flush gets its own deadline: even when the drain window was
+		// exhausted, the final snapshot must still be attempted.
+		fctx, fcancel := context.WithTimeout(context.Background(), drain)
+		defer fcancel()
+		if ferr := flush(fctx); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	return err
 }
 
 // buildServer runs the pipeline on db with its stage spans and counters
@@ -132,33 +195,74 @@ func buildServer(ctx context.Context, db *graph.DB, cfg catapult.Config, reg *me
 // legacy search, metrics, health and pprof surfaces ride alongside on the
 // same mux. Split from main so the handler test can drive a real refresh.
 func buildMaintainerServer(ctx context.Context, db *graph.DB, cfg catapult.Config, reg *metrics.Registry) (*webui.Server, *catapult.Maintainer, error) {
+	srv, m, _, err := buildMaintainerServerState(ctx, db, cfg, reg, "")
+	return srv, m, err
+}
+
+// buildMaintainerServerState is buildMaintainerServer with durable state:
+// when stateDir is non-empty it recovers the newest verifiable snapshot
+// there and warm-starts the maintainer from it — the -in/-demo database is
+// then superseded by the recovered one — falling back to a cold mine when
+// no snapshot verifies. Persistence is enabled either way, so every
+// refresh writes the next generation, and the recovery outcome lands on
+// /healthz and the catapult_store_* metrics before the server takes
+// traffic.
+func buildMaintainerServerState(ctx context.Context, db *graph.DB, cfg catapult.Config, reg *metrics.Registry, stateDir string) (*webui.Server, *catapult.Maintainer, *catapult.StoreRecovery, error) {
 	cfg.Observer = metrics.NewTrace(reg)
-	m, err := catapult.NewMaintainerCtx(ctx, db, cfg)
-	if err != nil {
-		return nil, nil, err
+	var m *catapult.Maintainer
+	var recovery *catapult.StoreRecovery
+	if stateDir != "" {
+		st, info, err := catapult.LoadState(stateDir)
+		recovery = info
+		switch {
+		case err == nil:
+			if m, err = catapult.NewMaintainerFromState(st, cfg); err != nil {
+				return nil, nil, nil, err
+			}
+			fmt.Fprintf(os.Stderr, "guiserve: warm start: %s\n", info)
+		case errors.Is(err, catapult.ErrNoSnapshot):
+			fmt.Fprintf(os.Stderr, "guiserve: %s start from %s: mining from scratch\n", info.Outcome(), stateDir)
+		default:
+			return nil, nil, nil, err
+		}
+	}
+	if m == nil {
+		var err error
+		if m, err = catapult.NewMaintainerCtx(ctx, db, cfg); err != nil {
+			return nil, nil, nil, err
+		}
 	}
 	m.EnableMetrics(reg)
+	if stateDir != "" {
+		if err := m.EnablePersistence(stateDir); err != nil {
+			return nil, nil, nil, err
+		}
+		catapult.ObserveRecovery(reg, recovery)
+	}
 	api := catapult.NewPatternServer(catapult.PatternServerOptions{Metrics: reg})
 	if _, err := api.AddTenant(catapult.ServeDefaultTenant, m.ServeSource()); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	srv := webui.NewServer(db.Name, m.Patterns())
-	srv.EnableSearch(gindex.Build(db, gindex.Options{}))
+	srv := webui.NewServer(m.DB().Name, m.Patterns())
+	srv.EnableSearch(gindex.Build(m.DB(), gindex.Options{}))
 	srv.EnableAPI(api)
 	srv.EnableObservability(reg.Handler(), func() any {
-		return maintainerHealth(api)
+		return maintainerHealth(api, recovery)
 	})
-	return srv, m, nil
+	return srv, m, recovery, nil
 }
 
 // maintainerHealth is the /healthz body in -serve mode: the default
-// tenant's current snapshot stats, read lock-free.
-func maintainerHealth(api *catapult.PatternServer) any {
+// tenant's current snapshot stats, read lock-free, plus the snapshot
+// recovery report when the server started from a -state-dir.
+func maintainerHealth(api *catapult.PatternServer, recovery *catapult.StoreRecovery) any {
 	stats := api.Tenant(catapult.ServeDefaultTenant).Snapshot().Stats()
-	return struct {
-		Status string              `json:"status"`
-		Serve  catapult.ServeStats `json:"serve"`
-	}{"ok", stats}
+	payload := struct {
+		Status   string                  `json:"status"`
+		Serve    catapult.ServeStats     `json:"serve"`
+		Recovery *catapult.StoreRecovery `json:"recovery,omitempty"`
+	}{"ok", stats, recovery}
+	return payload
 }
 
 // healthPayload is the /healthz response body.

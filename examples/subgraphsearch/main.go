@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"path/filepath"
 
 	catapult "repro"
 	"repro/internal/cluster"
@@ -21,9 +23,20 @@ func main() {
 	db := dataset.AIDSLike(300, 9)
 	fmt.Printf("repository: %s\n", db.ComputeStats())
 
-	// Build the subgraph-search index once.
-	idx := gindex.Build(db, gindex.Options{MaxPathLen: 3})
-	fmt.Printf("index: %d path features\n\n", idx.NumFeatures())
+	// Build the subgraph-search index once and persist it crash-safely
+	// (atomic durable write): a rerun attaches the saved postings with
+	// LoadFile instead of paying the build again.
+	idxPath := filepath.Join(os.TempDir(), "subgraphsearch.gindex")
+	idx, err := gindex.LoadFile(idxPath, db)
+	if err != nil {
+		idx = gindex.Build(db, gindex.Options{MaxPathLen: 3})
+		if err := idx.SaveFile(idxPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("index: %d path features (built, persisted to %s)\n\n", idx.NumFeatures(), idxPath)
+	} else {
+		fmt.Printf("index: %d path features (reattached from %s)\n\n", idx.NumFeatures(), idxPath)
+	}
 
 	// Mine canned patterns for the query interface.
 	res, err := catapult.Select(db, catapult.Config{

@@ -1,0 +1,37 @@
+package gindex
+
+import (
+	"bytes"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// File persistence on top of Save/Load: index builds over a large
+// repository are expensive enough that losing the file to a crash
+// mid-save matters, so SaveFile goes through the snapshot store's atomic
+// durable write — a reader only ever observes the previous or the new
+// complete index, never a torn mixture.
+
+// SaveFile writes the index to path atomically and durably (temp file,
+// fsync, rename over path, directory fsync). The file contents are
+// exactly Save's bytes, so existing files and tooling keep working.
+func (idx *Index) SaveFile(path string) error {
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		return err
+	}
+	return store.AtomicWriteFile(path, buf.Bytes(), 0o644)
+}
+
+// LoadFile reads an index written by SaveFile (or any Save output on
+// disk) and attaches it to db.
+func LoadFile(path string, db *graph.DB) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, db)
+}

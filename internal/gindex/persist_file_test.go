@@ -1,0 +1,62 @@
+package gindex
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// SaveFile must produce exactly Save's bytes — pinned against the same
+// committed golden file as TestSaveGoldenFile, so the atomic write path
+// cannot drift from the streaming one — and leave no temp file behind.
+func TestSaveFileMatchesGolden(t *testing.T) {
+	db := dataset.EMolLike(12, 21)
+	idx := Build(db, Options{MaxPathLen: 2})
+
+	path := filepath.Join(t.TempDir(), "idx.gindex")
+	if err := idx.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "emollike_12_21.gindex"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("SaveFile bytes differ from golden (%d vs %d bytes)", len(got), len(want))
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+
+	// Overwrite in place: the second save must replace, not append or tear.
+	if err := idx.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if again, _ := os.ReadFile(path); !bytes.Equal(again, want) {
+		t.Fatal("second SaveFile over an existing file drifted")
+	}
+
+	// LoadFile round trip: identical index, identical re-save bytes.
+	back, err := LoadFile(path, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := back.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("LoadFile→Save round trip is not byte-identical")
+	}
+
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.gindex"), db); err == nil {
+		t.Fatal("LoadFile of a missing path succeeded")
+	}
+}

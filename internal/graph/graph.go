@@ -177,6 +177,16 @@ func (g *Graph) EdgeLabel(u, v VertexID) string {
 	return CanonicalEdgeLabel(g.labels[e.U], g.labels[e.V])
 }
 
+// ExplicitEdgeLabel returns the explicitly assigned label of edge {u, v}
+// and whether one was set. Unlike EdgeLabel it never falls back to the
+// derived endpoint-label concatenation, so serializers (io.go, the
+// CSNAP1 snapshot store) can round-trip a graph losslessly: derived
+// labels are recomputed on load, explicit ones are stored.
+func (g *Graph) ExplicitEdgeLabel(u, v VertexID) (string, bool) {
+	l, ok := g.edgeLabel[NewEdge(u, v)]
+	return l, ok
+}
+
 // CanonicalEdgeLabel joins two vertex labels in sorted order, the derived
 // edge label used throughout coverage computations.
 func CanonicalEdgeLabel(a, b string) string {

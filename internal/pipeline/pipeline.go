@@ -132,6 +132,14 @@ const (
 	// CounterNetRepsSampled counts representative subgraphs sampled from
 	// regions into the summary DB.
 	CounterNetRepsSampled Counter = "bignet_reps_sampled"
+	// CounterStoreBytes counts bytes written by the snapshot store's
+	// durable write path, reported per chunk as the write progresses. The
+	// chaos suite arms faultinject rules on it to kill persistence at
+	// byte N.
+	CounterStoreBytes Counter = "store_bytes_written"
+	// CounterStorePersists counts snapshot generations durably committed
+	// (tmp written, fsynced, renamed into place).
+	CounterStorePersists Counter = "store_persists"
 )
 
 // Trace observes pipeline execution. Implementations must be safe for

@@ -68,6 +68,13 @@ type Options struct {
 	MaxConns int
 	// Tenant to address (default serve.DefaultTenant).
 	Tenant string
+	// Stop, when closed, makes every user let its in-flight request finish
+	// and then exit without issuing another — the load-balancer half of a
+	// graceful drain. Unlike cancelling ctx (which aborts requests
+	// mid-flight and suppresses their accounting), a Stop drain keeps every
+	// issued request counted, so a drain test can assert the server broke
+	// none of them. Optional; nil means users run until Duration elapses.
+	Stop <-chan struct{}
 }
 
 // Result aggregates a load run.
@@ -230,10 +237,17 @@ func (u *userLoop) run(ctx context.Context) {
 		select {
 		case <-ctx.Done():
 			return
+		case <-u.opts.Stop:
+			return
 		case <-time.After(time.Duration(u.rng.Float64() * float64(u.opts.Ramp))):
 		}
 	}
 	for ctx.Err() == nil {
+		select {
+		case <-u.opts.Stop:
+			return
+		default:
+		}
 		if len(u.panel) == 0 || u.rng.Float64() >= u.opts.SearchFraction {
 			u.fetchPatterns(ctx)
 		} else {
@@ -256,6 +270,7 @@ func (u *userLoop) think(ctx context.Context) {
 	}
 	select {
 	case <-ctx.Done():
+	case <-u.opts.Stop:
 	case <-time.After(d):
 	}
 }

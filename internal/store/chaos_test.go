@@ -1,0 +1,278 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/pipeline"
+)
+
+// killAt attempts to persist st through s with a fault armed to panic the
+// writer once n cumulative bytes have been written — the deterministic
+// stand-in for `kill -9` at byte N of the persist path. It reports
+// whether the writer was actually killed.
+func killAt(t *testing.T, s *Store, st *State, n int64) (killed bool) {
+	t.Helper()
+	inj := faultinject.New().PanicAfter(pipeline.CounterStoreBytes, n, "kill persist")
+	ctx := pipeline.WithTrace(context.Background(), inj)
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := r.(*faultinject.Panic); !ok {
+			panic(r) // a real bug, not the injected kill
+		}
+		killed = true
+	}()
+	if _, err := s.WriteCtx(ctx, st); err != nil {
+		t.Fatalf("WriteCtx under injection failed cleanly (want kill or success): %v", err)
+	}
+	return false
+}
+
+// TestChaosStoreCrashAtByteN sweeps the kill point over the persist
+// path, one byte at a time: for every N, a writer killed after byte N
+// must leave recovery loading the previous generation bit-identically,
+// and a subsequent clean persist must succeed and supersede it.
+func TestChaosStoreCrashAtByteN(t *testing.T) {
+	oldChunk := writeChunk
+	writeChunk = 1 // per-byte kill granularity
+	defer func() { writeChunk = oldChunk }()
+
+	stA := testState(0)
+	stA.Version = 1
+	stB := testState(0)
+	stB.Version = 2
+	encB, err := Encode(stB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill points: every 7th byte plus the boundaries (first byte and the
+	// final byte, where the temp file is complete but uncommitted).
+	var points []int64
+	for n := int64(1); n <= int64(len(encB)); n += 7 {
+		points = append(points, n)
+	}
+	points = append(points, int64(len(encB)))
+
+	for _, n := range points {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.WriteCtx(context.Background(), stA); err != nil {
+			t.Fatal(err)
+		}
+		if !killAt(t, s, stB, n) {
+			t.Fatalf("kill at byte %d of %d did not fire", n, len(encB))
+		}
+		got, info, err := s.Recover()
+		if err != nil {
+			t.Fatalf("kill at byte %d: recovery failed: %v", n, err)
+		}
+		if info.Generation != 1 || info.Degraded {
+			t.Fatalf("kill at byte %d: recovered gen %d (%s), want clean gen 1",
+				n, info.Generation, info.Outcome())
+		}
+		if ok, err := Equal(got, stA); err != nil || !ok {
+			t.Fatalf("kill at byte %d: recovered state not bit-identical to pre-crash snapshot", n)
+		}
+		// The retried persist after "restart" must commit normally.
+		gen, err := s.WriteCtx(context.Background(), stB)
+		if err != nil {
+			t.Fatalf("kill at byte %d: retry persist: %v", n, err)
+		}
+		got, info, err = s.Recover()
+		if err != nil || info.Generation != gen {
+			t.Fatalf("kill at byte %d: post-retry recovery gen %d, err %v", n, info.Generation, err)
+		}
+		if ok, _ := Equal(got, stB); !ok {
+			t.Fatalf("kill at byte %d: retried state lost", n)
+		}
+	}
+}
+
+// TestChaosStoreCrashAfterCommit kills the writer after the rename and
+// directory sync: the new generation is already durable, so recovery
+// must serve it, not the previous one.
+func TestChaosStoreCrashAfterCommit(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stA := testState(0)
+	stA.Version = 1
+	stB := testState(0)
+	stB.Version = 2
+	if _, err := s.WriteCtx(context.Background(), stA); err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New().PanicAfter(pipeline.CounterStorePersists, 1, "kill after commit")
+	ctx := pipeline.WithTrace(context.Background(), inj)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(*faultinject.Panic); !ok {
+					panic(r)
+				}
+			}
+		}()
+		if _, err := s.WriteCtx(ctx, stB); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if len(inj.Fired()) != 1 {
+		t.Fatal("post-commit kill did not fire")
+	}
+	got, info, err := s.Recover()
+	if err != nil || info.Generation != 2 || info.Outcome() != "clean" {
+		t.Fatalf("recovered gen %d (%v), want committed gen 2", info.Generation, err)
+	}
+	if ok, _ := Equal(got, stB); !ok {
+		t.Fatal("committed-then-killed state not recovered bit-identically")
+	}
+}
+
+// TestChaosStoreCorruptionSweep damages every section of the newest
+// generation in every mode — payload bit flip, checksum bit flip, zeroed
+// payload, truncation inside the section — and additionally truncates
+// the file at a sweep of prefix lengths. Every variant must fall back to
+// the previous generation bit-identically with a typed skip.
+func TestChaosStoreCorruptionSweep(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stA := testState(0)
+	stA.Version = 1
+	stB := testState(0)
+	stB.Version = 2
+	if _, err := s.WriteCtx(context.Background(), stA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteCtx(context.Background(), stB); err != nil {
+		t.Fatal(err)
+	}
+	path := s.Path(2)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs, err := scanSections(pristine)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, corrupted []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, info, err := s.Recover()
+		if err != nil {
+			t.Fatalf("%s: recovery failed entirely: %v", name, err)
+		}
+		if info.Generation != 1 || !info.Degraded {
+			t.Fatalf("%s: recovered gen %d (%s), want degraded fallback to gen 1",
+				name, info.Generation, info.Outcome())
+		}
+		if len(info.Skipped) != 1 {
+			t.Fatalf("%s: skipped %d generations, want 1", name, len(info.Skipped))
+		}
+		var ce *CorruptError
+		if !errors.As(info.Skipped[0].Err, &ce) {
+			t.Fatalf("%s: skip fault %T is not a typed *CorruptError: %v",
+				name, info.Skipped[0].Err, info.Skipped[0].Err)
+		}
+		if ok, err := Equal(got, stA); err != nil || !ok {
+			t.Fatalf("%s: fallback state not bit-identical to generation 1", name)
+		}
+	}
+
+	for _, sec := range secs {
+		if sec.payloadLen > 0 {
+			// Flip a bit mid-payload.
+			flip := append([]byte(nil), pristine...)
+			flip[sec.payloadStart+sec.payloadLen/2] ^= 0x01
+			check("flip payload "+sec.tag, flip)
+
+			// Zero the whole payload.
+			zero := append([]byte(nil), pristine...)
+			for i := 0; i < sec.payloadLen; i++ {
+				zero[sec.payloadStart+i] = 0
+			}
+			check("zero payload "+sec.tag, zero)
+
+			// Truncate inside the payload.
+			check("truncate inside "+sec.tag, pristine[:sec.payloadStart+sec.payloadLen/2])
+		}
+		// Flip a checksum bit.
+		flipCRC := append([]byte(nil), pristine...)
+		flipCRC[sec.crcStart] ^= 0x80
+		check("flip checksum "+sec.tag, flipCRC)
+
+		// Truncate exactly at the section's end (checksum cut off).
+		check("truncate at checksum "+sec.tag, pristine[:sec.crcStart+2])
+	}
+
+	// Prefix-truncation sweep across the whole file, including the empty
+	// file and a bare magic.
+	for cut := 0; cut < len(pristine); cut += 97 {
+		check("prefix truncate", pristine[:cut])
+	}
+
+	// Restore the pristine newest generation: recovery returns to it.
+	if err := os.WriteFile(path, pristine, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, info, err := s.Recover()
+	if err != nil || info.Outcome() != "clean" || info.Generation != 2 {
+		t.Fatalf("pristine restore: gen %d (%v)", info.Generation, err)
+	}
+	if ok, _ := Equal(got, stB); !ok {
+		t.Fatal("pristine newest generation no longer matches")
+	}
+}
+
+// TestChaosStoreEveryGenerationCorrupt corrupts all generations: the
+// result is a typed degraded cold start (ErrNoSnapshot + per-generation
+// faults), never a panic or a partially decoded state.
+func TestChaosStoreEveryGenerationCorrupt(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.WriteCtx(context.Background(), testState(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, gen := range []uint64{1, 2} {
+		data, err := os.ReadFile(s.Path(gen))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-3] ^= 0xFF
+		if err := os.WriteFile(s.Path(gen), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, info, err := s.Recover()
+	if !errors.Is(err, ErrNoSnapshot) || st != nil {
+		t.Fatalf("Recover = %v, %v; want ErrNoSnapshot", st, err)
+	}
+	if info.Outcome() != "failed" || len(info.Skipped) != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+	for _, sk := range info.Skipped {
+		var ce *CorruptError
+		if !errors.As(sk.Err, &ce) {
+			t.Fatalf("generation %d skip fault is %T, not *CorruptError", sk.Generation, sk.Err)
+		}
+	}
+}

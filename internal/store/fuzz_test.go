@@ -1,0 +1,63 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzSnapshotLoader holds the CSNAP1 loader to the BNET1 loader's
+// contract under arbitrary bytes: never panic, never allocate
+// proportionally to a hostile length field, and stay involutive — any
+// input it accepts must re-encode to bytes it accepts again, decoding to
+// the same state.
+func FuzzSnapshotLoader(f *testing.F) {
+	valid, err := Encode(testState(0))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-1])
+	// A structurally valid frame whose payload declares a hostile count:
+	// a GRDB section claiming 2^60 graphs in a few bytes. The allocation
+	// cap must reject it without attempting the allocation.
+	hostile := []byte(Magic)
+	hostile = binary.AppendUvarint(hostile, 1)
+	hostile = appendSection(hostile, tagGrdb, binary.AppendUvarint(nil, 1<<60))
+	f.Add(hostile)
+	// Flip one byte in every position of a small valid snapshot.
+	small, err := Encode(&State{Dataset: "d"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := range small {
+		mut := append([]byte(nil), small...)
+		mut[i] ^= 0xA5
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data) // must not panic on any input
+		if err != nil {
+			return
+		}
+		re, err := Encode(st)
+		if err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+		st2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded bytes rejected: %v", err)
+		}
+		re2, err := Encode(st2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatal("decode→encode not stable on accepted input")
+		}
+	})
+}

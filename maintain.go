@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/csg"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
 // ErrRetryNotDue is returned by RetryCtx when a failed refresh is queued but
@@ -48,6 +50,17 @@ type Maintainer struct {
 	csgs     []*csg.CSG
 	patterns []*core.Pattern
 
+	// version counts committed states monotonically: 1 after
+	// construction, +1 per committed refresh. It is stamped into every
+	// persisted snapshot and resumed on warm start.
+	version uint64
+
+	// mu serializes compound state transitions when the maintainer is
+	// shared: the ServeSource adapter's State/Refresh calls and
+	// PersistNow's shutdown flush all take it. Direct single-goroutine
+	// use (the original contract) needs no locking.
+	mu sync.Mutex
+
 	// Retry state for failed refreshes.
 	pending   []*graph.Graph
 	failures  int
@@ -60,7 +73,16 @@ type Maintainer struct {
 	// otherwise. Gauges are updated at state transitions (refresh commit,
 	// failure queue, retry-state clear), so a concurrent scrape only ever
 	// touches atomics.
-	m *maintainerMetrics
+	m   *maintainerMetrics
+	reg *Metrics // registry m was built from, for late store-metric wiring
+
+	// Persistence state (EnablePersistence / maintain_persist.go):
+	// the snapshot store, the last committed generation, the most recent
+	// persist error, and the catapult_store_* series.
+	store       *store.Store
+	lastGen     uint64
+	lastPersist error
+	sm          *storeMetrics
 }
 
 // maintainerMetrics are the Maintainer's operational series, registered by
@@ -94,6 +116,8 @@ func (mt *Maintainer) EnableMetrics(m *Metrics) {
 		patterns:    m.Gauge("catapult_maintainer_patterns", "Canned patterns currently served."),
 	}
 	mt.m = mm
+	mt.reg = m
+	mt.wireStoreMetrics()
 	mm.clusters.Set(float64(len(mt.clusters)))
 	mm.patterns.Set(float64(len(mt.patterns)))
 	mm.pending.Set(float64(len(mt.pending)))
@@ -127,6 +151,7 @@ func NewMaintainerCtx(stdctx context.Context, db *graph.DB, cfg Config) (*Mainta
 		csgs:     res.CSGs,
 		patterns: res.Patterns,
 		now:      time.Now,
+		version:  1,
 	}, nil
 }
 
@@ -178,9 +203,19 @@ func (m *Maintainer) AddGraphsCtx(stdctx context.Context, gs []*graph.Graph) (ti
 	pgt, err := m.tryRefresh(stdctx, batch)
 	if err != nil {
 		m.queueFailed(batch, err)
+		// Best-effort durability of the failure transition: the queued
+		// batch and its backoff ladder position survive a crash, so a
+		// warm start re-queues the batch exactly once.
+		m.persist(stdctx)
 		return 0, err
 	}
 	m.clearRetryState()
+	// Persist after the retry state is cleared, never between commit and
+	// clear: the snapshot must not both contain the absorbed batch in the
+	// database and still carry it as pending, or a warm start would
+	// absorb it twice. Failures are recorded (LastPersistErr), not
+	// returned — the in-memory commit already happened.
+	m.persist(stdctx)
 	return pgt, nil
 }
 
@@ -225,9 +260,28 @@ func (m *Maintainer) clearRetryState() {
 	}
 }
 
+// ensureCSGs lazily rebuilds the cluster summary graphs. A warm-started
+// maintainer (NewMaintainerFromState) serves patterns without them —
+// they are derived state, deliberately not persisted — and only needs
+// them for its first incremental refresh.
+func (m *Maintainer) ensureCSGs(stdctx context.Context) error {
+	if m.csgs != nil {
+		return nil
+	}
+	csgs, err := csg.BuildAllCtx(stdctx, m.db, m.clusters)
+	if err != nil {
+		return err
+	}
+	m.csgs = csgs
+	return nil
+}
+
 // tryRefresh computes the post-insert state on copies and swaps it into the
 // maintainer only when every step succeeded.
 func (m *Maintainer) tryRefresh(stdctx context.Context, gs []*graph.Graph) (time.Duration, error) {
+	if err := m.ensureCSGs(stdctx); err != nil {
+		return 0, err
+	}
 	base := m.db.Len()
 	all := append(append([]*graph.Graph(nil), m.db.Graphs...), gs...)
 	db := graph.NewDB(m.db.Name, all)
@@ -310,6 +364,7 @@ func (m *Maintainer) tryRefresh(stdctx context.Context, gs []*graph.Graph) (time
 	m.clusters = clusters
 	m.csgs = csgs
 	m.patterns = sel.Patterns
+	m.version++
 	pgt := time.Since(start)
 	if m.m != nil {
 		m.m.refreshes.Inc()

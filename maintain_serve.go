@@ -2,7 +2,6 @@ package catapult
 
 import (
 	"context"
-	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/serve"
@@ -24,28 +23,28 @@ func (m *Maintainer) ServeState() serve.State {
 
 // ServeSource adapts the maintainer to the serving layer's Source
 // interface. The Maintainer itself is not safe for concurrent use, so the
-// adapter serializes State and Refresh calls behind one mutex; the serving
-// tier's lock-free read path never touches it — readers answer from the
-// tenant's published snapshot, and only snapshot builds and refreshes go
-// through here.
+// adapter serializes State and Refresh calls behind the maintainer's own
+// mutex — shared with PersistNow's shutdown flush, so a final snapshot
+// never interleaves with a refresh. The serving tier's lock-free read
+// path never touches it — readers answer from the tenant's published
+// snapshot, and only snapshot builds and refreshes go through here.
 func (m *Maintainer) ServeSource() serve.Source {
 	return &maintainerSource{m: m}
 }
 
 type maintainerSource struct {
-	mu sync.Mutex
-	m  *Maintainer
+	m *Maintainer
 }
 
 func (s *maintainerSource) State() serve.State {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.m.mu.Lock()
+	defer s.m.mu.Unlock()
 	return s.m.ServeState()
 }
 
 func (s *maintainerSource) Refresh(ctx context.Context, gs []*graph.Graph) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.m.mu.Lock()
+	defer s.m.mu.Unlock()
 	_, err := s.m.AddGraphsCtx(ctx, gs)
 	return err
 }

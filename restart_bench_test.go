@@ -1,0 +1,123 @@
+// Benchmark gate for warm restart: recovering the full serving state from
+// a CSNAP1 snapshot (LoadState + NewMaintainerFromState) must be at least
+// 10x faster than mining it from scratch on the quickstart workload.
+// `make bench-gate-restart` runs the gate, which writes BENCH_restart.json;
+// opt-in via BENCH_GATE_RESTART=1 so regular `go test ./...` stays fast.
+package catapult_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	catapult "repro"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/store"
+)
+
+func TestRestartBenchGate(t *testing.T) {
+	if os.Getenv("BENCH_GATE_RESTART") == "" {
+		t.Skip("set BENCH_GATE_RESTART=1 to run the restart benchmark gate")
+	}
+
+	// The quickstart workload: examples/quickstart's database and budget,
+	// the same state the serving gate fronts.
+	db := dataset.AIDSLike(200, 1)
+	cfg := catapult.Config{
+		Budget:     core.Budget{EtaMin: 3, EtaMax: 8, Gamma: 10},
+		Clustering: cluster.Config{Strategy: cluster.HybridMCCS, N: 20, MinSupport: 0.1},
+		Seed:       42,
+	}
+
+	// Cold start: the full mining pipeline.
+	coldStart := time.Now()
+	m, err := catapult.NewMaintainerCtx(context.Background(), db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := time.Since(coldStart)
+
+	dir := t.TempDir()
+	if err := m.EnablePersistence(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm start: recover the snapshot and rebuild a serving-ready
+	// maintainer from it. Best of three, so a cold page cache or a GC
+	// pause doesn't fail the gate spuriously.
+	var warm time.Duration
+	var snapshotBytes int
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		st, info, err := catapult.LoadState(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := catapult.NewMaintainerFromState(st, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := time.Since(start)
+		if i == 0 || d < warm {
+			warm = d
+		}
+		if info.Outcome() != "clean" {
+			t.Fatalf("warm recovery not clean: %s", info.Outcome())
+		}
+
+		// The recovered maintainer must serve the identical state, not
+		// just start fast: re-encoding its snapshot must reproduce the
+		// persisted bytes.
+		ok, err := store.Equal(w.SnapshotState(), m.SnapshotState())
+		if err != nil || !ok {
+			t.Fatalf("warm-started state not bit-identical to cold state (%v)", err)
+		}
+		if len(w.Patterns()) != len(m.Patterns()) || w.DB().Len() != db.Len() {
+			t.Fatalf("warm state shape off: %d patterns, %d graphs",
+				len(w.Patterns()), w.DB().Len())
+		}
+		enc, err := store.Encode(w.SnapshotState())
+		if err != nil {
+			t.Fatal(err)
+		}
+		snapshotBytes = len(enc)
+	}
+
+	report := struct {
+		ColdStartMs   float64 `json:"cold_start_ms"`
+		WarmStartMs   float64 `json:"warm_start_ms"`
+		Speedup       float64 `json:"speedup"`
+		SnapshotBytes int     `json:"snapshot_bytes"`
+		Graphs        int     `json:"graphs"`
+		Patterns      int     `json:"patterns"`
+	}{
+		float64(cold.Microseconds()) / 1000,
+		float64(warm.Microseconds()) / 1000,
+		float64(cold) / float64(warm),
+		snapshotBytes,
+		db.Len(),
+		len(m.Patterns()),
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile("BENCH_restart.json", buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("restart gate: cold %.1f ms, warm %.2f ms, speedup %.0fx, snapshot %d bytes\n",
+		report.ColdStartMs, report.WarmStartMs, report.Speedup, report.SnapshotBytes)
+
+	const minSpeedup = 10.0
+	if report.Speedup < minSpeedup {
+		t.Fatalf("warm restart speedup %.1fx below the %.0fx gate (cold %.1f ms, warm %.2f ms)",
+			report.Speedup, minSpeedup, report.ColdStartMs, report.WarmStartMs)
+	}
+}
