@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci build vet fmt test race diff-race chaos chaos-store api-lock serve-race bignet-race fuzz-bignet fuzz-store bench bench-gate bench-gate-cluster bench-gate-resilience bench-gate-graph bench-gate-serve bench-gate-bignet bench-gate-restart
+.PHONY: check ci build vet fmt test race diff-race chaos chaos-store api-lock serve-race bignet-race fuzz-bignet fuzz-store bench bench-gate bench-gate-cluster bench-gate-resilience bench-gate-graph bench-gate-serve bench-gate-bignet bench-gate-restart bench-gate-suggest
 
 # check is the CI gate: vet, formatting, and the full test suite under the
 # race detector.
@@ -16,8 +16,9 @@ check: vet fmt race
 # layers (chaos-store is the crash/corruption wall for the state store),
 # the public-API gates (api-lock walk + external-consumer compile smoke),
 # the large-network race + fuzz-seed suite, and the frozen-matcher,
-# serving, large-network, and warm-restart benchmark gates.
-ci: check diff-race chaos chaos-store api-lock serve-race bignet-race bench-gate-graph bench-gate-serve bench-gate-bignet bench-gate-restart
+# serving, large-network, warm-restart, and autocompletion benchmark
+# gates.
+ci: check diff-race chaos chaos-store api-lock serve-race bignet-race bench-gate-graph bench-gate-serve bench-gate-bignet bench-gate-restart bench-gate-suggest
 
 # api-lock pins the public facade: the go/types walk fails when an exported
 # root identifier references an internal/ type with no root-package alias,
@@ -47,9 +48,11 @@ race:
 # diff-race runs only the engine-vs-naive differential tests, under -race
 # and without result caching, so cache-freshness never masks a divergence.
 # Includes the large-network suites: decomposition must be bit-identical
-# across GOMAXPROCS and the text/binary loaders must select identically.
+# across GOMAXPROCS and the text/binary loaders must select identically,
+# and the suggest suite: unbudgeted autocompletion rankings must not
+# depend on GOMAXPROCS.
 diff-race:
-	$(GO) test -race -count=1 -run 'Differential' ./internal/core/ ./internal/cluster/ ./internal/bignet/ .
+	$(GO) test -race -count=1 -run 'Differential' ./internal/core/ ./internal/cluster/ ./internal/bignet/ ./internal/suggest/ .
 
 # chaos runs the fault-injection suite under -race: injected worker panics
 # and stalls in every pipeline phase must degrade — never crash or leak —
@@ -97,7 +100,7 @@ fuzz-bignet:
 fuzz-store:
 	$(GO) test -run '^$$' -fuzz '^FuzzSnapshotLoader$$' -fuzztime $(FUZZTIME) ./internal/store/
 
-bench: bench-gate bench-gate-cluster bench-gate-resilience bench-gate-graph bench-gate-serve bench-gate-bignet bench-gate-restart
+bench: bench-gate bench-gate-cluster bench-gate-resilience bench-gate-graph bench-gate-serve bench-gate-bignet bench-gate-restart bench-gate-suggest
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # bench-gate runs the coverage-engine regression gate: it writes
@@ -154,3 +157,15 @@ bench-gate-bignet:
 # bit-identical to the state that was persisted.
 bench-gate-restart:
 	BENCH_GATE_RESTART=1 $(GO) test -run '^TestRestartBenchGate$$' -count=1 -timeout 600s .
+
+# bench-gate-suggest runs the autocompletion regression gate: seeded
+# simulated users formulate extended-pattern target queries keystroke by
+# keystroke against POST /v1/suggest on the pattern service fronting the
+# quickstart maintainer, accepting suggested patterns per the user model.
+# It writes BENCH_suggest.json and fails when the per-keystroke p99
+# exceeds the engine's ~100ms anytime budget, when the replay saves no
+# formulation steps (steps-saved μ must be > 0), or on any request error
+# or internally inconsistent response. SUGGEST_BENCH_USERS /
+# SUGGEST_BENCH_TARGETS shrink the run for local iteration.
+bench-gate-suggest:
+	BENCH_GATE_SUGGEST=1 $(GO) test -run '^TestSuggestBenchGate$$' -count=1 -timeout 600s .

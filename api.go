@@ -22,6 +22,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/serve"
 	"repro/internal/store"
+	"repro/internal/suggest"
 )
 
 // Graph is a small labeled data graph (vertices with string labels,
@@ -164,7 +165,7 @@ func WriteDB(w io.Writer, db *DB) error { return graph.Write(w, db) }
 type PatternServer = serve.Server
 
 // PatternServerOptions configures a PatternServer (admission bounds,
-// metrics registry, request body cap).
+// metrics registry, request body cap, suggest defaults).
 type PatternServerOptions = serve.Options
 
 // ServeAdmission bounds the server's concurrent work
@@ -222,6 +223,41 @@ type ServeRefreshResponse = serve.RefreshResponse
 // AddTenant and mount it on an HTTP server (standalone or alongside the
 // observability surfaces via EnableObservability + webui EnableAPI).
 func NewPatternServer(opts PatternServerOptions) *PatternServer { return serve.NewServer(opts) }
+
+// Suggester is the online query-autocompletion engine: given a partial
+// query it prunes, verifies and ranks a pattern set as completions under
+// an anytime per-keystroke budget. Create with NewSuggester (it memoizes
+// containment verdicts across keystrokes) and call SuggestCtx per
+// keystroke.
+type Suggester = suggest.Engine
+
+// SuggestOptions configures one suggestion call (or a server's defaults):
+// top-k, per-keystroke budget (0 = the ~100ms default, negative =
+// unbudgeted), verification candidate cap, and the MCS ranking mode.
+type SuggestOptions = suggest.Options
+
+// SuggestResult is one suggestion call's output: the ranked suggestions
+// plus the per-call stats.
+type SuggestResult = suggest.Result
+
+// Suggestion is one ranked completion: the pattern index, whether the
+// partial is contained in it, distance/overlap closeness, and the
+// vertices/edges the completion would add.
+type Suggestion = suggest.Suggestion
+
+// SuggestStats reports how far one suggestion call's prune → verify →
+// rank ladder got under its keystroke budget, including the first
+// degradation reason when the budget cut work short.
+type SuggestStats = suggest.Stats
+
+// ServeSuggestResponse is the POST /v1/suggest payload: snapshot stats,
+// the engine's per-call stats, and the ranked suggestions with pattern
+// texts attached.
+type ServeSuggestResponse = serve.SuggestResponse
+
+// ServeSuggestionView is one suggestion as served by /v1/suggest: the
+// engine's Suggestion plus the pattern in transaction text format.
+type ServeSuggestionView = serve.SuggestionView
 
 // NetworkOptions tunes large-network decomposition (Config.Network):
 // region edge cap, representatives per region and their size bounds, and

@@ -1,0 +1,64 @@
+package catapult_test
+
+// Companion to the api-lock test, specialized to the autocompletion layer:
+// every exported named type of internal/suggest must have a root-package
+// alias in api.go. The suggest API is the per-keystroke surface external
+// GUIs build against — its option, result, and stats types must stay
+// reachable through catapult.Suggest* names even when no root function
+// currently mentions them in its signature.
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestAPILockSuggestAliases(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg := typeCheckRootPackage(t, fset)
+
+	var suggPkg *types.Package
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == "repro/internal/suggest" {
+			suggPkg = imp
+			break
+		}
+	}
+	if suggPkg == nil {
+		t.Fatal("root package does not import repro/internal/suggest")
+	}
+
+	aliased := make(map[*types.TypeName]bool)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		obj, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !obj.Exported() || !obj.IsAlias() {
+			continue
+		}
+		if named, ok := types.Unalias(obj.Type()).(*types.Named); ok {
+			aliased[named.Obj()] = true
+		}
+	}
+
+	var missing []string
+	sscope := suggPkg.Scope()
+	for _, name := range sscope.Names() {
+		obj, ok := sscope.Lookup(name).(*types.TypeName)
+		if !ok || !obj.Exported() || obj.IsAlias() {
+			continue
+		}
+		if _, isNamed := obj.Type().(*types.Named); !isNamed {
+			continue
+		}
+		if !aliased[obj] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		t.Errorf("exported internal/suggest types with no root-package alias; add aliases in api.go:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+}

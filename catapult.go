@@ -59,6 +59,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/resilience"
 	"repro/internal/sampling"
+	"repro/internal/suggest"
 	"repro/internal/treemine"
 )
 
@@ -137,6 +138,13 @@ type Config struct {
 	// sampling seed). Ignored by SelectCtx. The zero value uses the
 	// bignet defaults with Seed inherited from Config.Seed.
 	Network bignet.Options
+	// Suggest configures the online autocompletion engine (per-keystroke
+	// budget, default top-k, candidate cap) for consumers that wire a
+	// selection into a serving stack — cmd/guiserve passes it through to
+	// the pattern server's POST /v1/suggest endpoint. It does not affect
+	// SelectCtx itself; the zero value adopts the suggest package
+	// defaults (~100ms keystroke budget, top 5).
+	Suggest suggest.Options
 }
 
 func (c *Config) defaults() {
@@ -540,4 +548,24 @@ func cloneAll(gs []*graph.Graph) []*graph.Graph {
 		out[i] = g.Clone()
 	}
 	return out
+}
+
+// NewSuggester builds an online autocompletion engine over a selected
+// pattern set — typically Result.Patterns. The engine memoizes pattern-
+// containment verdicts across calls, so one Suggester should serve a whole
+// editing session (or all concurrent sessions of a snapshot): keystroke k+1
+// re-verifies only what keystroke k did not already establish.
+func NewSuggester(patterns []*Pattern) *Suggester { return suggest.NewEngine(patterns) }
+
+// SuggestCtx ranks res's selected patterns as completions of the partial
+// query q, under the per-keystroke anytime budget in opts (zero value:
+// ~100ms, top 5; the engine degrades to a ranked prefix rather than
+// erroring when the budget expires). This is the one-shot convenience
+// form; per-keystroke loops should hold a NewSuggester engine so
+// containment verdicts memoize across keystrokes.
+func SuggestCtx(ctx context.Context, res *Result, q *graph.Graph, opts SuggestOptions) (*SuggestResult, error) {
+	if res == nil {
+		return nil, fmt.Errorf("catapult: SuggestCtx on nil result")
+	}
+	return suggest.NewEngine(res.Patterns).SuggestCtx(ctx, q, opts)
 }

@@ -15,9 +15,16 @@
 //
 //	GET  /v1/patterns              pattern panel from the current snapshot
 //	POST /v1/search                exact containment search (query in body)
+//	POST /v1/suggest               per-keystroke autocompletion: rank the
+//	                               panel as completions of a partial query
 //	GET  /v1/coverage              per-pattern coverage of the snapshot
 //	POST /v1/tenants/{id}/refresh  absorb a graph batch, swap snapshots
 //	GET  /v1/tenants               registered tenants + snapshot stats
+//
+// Autocompletion also rides on the panel itself as POST /api/suggest in
+// both modes, budgeted per keystroke (-suggest-budget) so a suggestion
+// answer arrives while the user is still typing — degraded to a ranked
+// prefix rather than late.
 //
 // Usage:
 //
@@ -56,6 +63,7 @@ func main() {
 		gamma    = flag.Int("gamma", 12, "number of patterns")
 		seed     = flag.Int64("seed", 42, "random seed")
 		serveAPI = flag.Bool("serve", false, "back the panel with a maintainer and mount the concurrent /v1 pattern API")
+		suggestB = flag.Duration("suggest-budget", 0, "per-keystroke autocompletion budget (0 = ~100ms default, negative = unbudgeted)")
 		stateDir = flag.String("state-dir", "", "durable state directory (requires -serve): warm-start from the newest verifiable snapshot, persist every refresh, flush a final snapshot on shutdown")
 		drain    = flag.Duration("drain", 5*time.Second, "graceful-shutdown deadline for draining in-flight requests on SIGINT/SIGTERM")
 	)
@@ -91,6 +99,7 @@ func main() {
 		Budget:     catapult.Budget{EtaMin: *etaMin, EtaMax: *etaMax, Gamma: *gamma},
 		Clustering: catapult.ClusterConfig{Strategy: catapult.HybridMCCS, N: 20, MinSupport: 0.1},
 		Seed:       *seed,
+		Suggest:    catapult.SuggestOptions{Budget: *suggestB},
 	}
 	var srv *webui.Server
 	var flush func(context.Context) error
@@ -111,7 +120,7 @@ func main() {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "selected %d patterns (maintainer-backed)\n", len(m.Patterns()))
-		fmt.Fprintf(os.Stderr, "serving pattern panel + /v1 pattern API on http://localhost%s/ (GET /v1/patterns, POST /v1/search, POST /v1/tenants/%s/refresh; /metrics, /healthz, /debug/pprof/)\n",
+		fmt.Fprintf(os.Stderr, "serving pattern panel + /v1 pattern API on http://localhost%s/ (GET /v1/patterns, POST /v1/search, POST /v1/suggest, POST /v1/tenants/%s/refresh; /metrics, /healthz, /debug/pprof/)\n",
 			*addr, catapult.ServeDefaultTenant)
 	} else {
 		var res *catapult.Result
@@ -122,7 +131,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "selected %d patterns (clustering %v, selection %v)\n",
 			len(res.Patterns), res.ClusteringTime, res.PatternTime)
-		fmt.Fprintf(os.Stderr, "serving pattern panel on http://localhost%s/ (POST /api/search for retrieval; /metrics, /healthz, /debug/pprof/)\n", *addr)
+		fmt.Fprintf(os.Stderr, "serving pattern panel on http://localhost%s/ (POST /api/search for retrieval, POST /api/suggest for autocompletion; /metrics, /healthz, /debug/pprof/)\n", *addr)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -183,6 +192,7 @@ func buildServer(ctx context.Context, db *graph.DB, cfg catapult.Config, reg *me
 	}
 	srv := webui.NewServer(db.Name, res.Patterns)
 	srv.EnableSearch(gindex.Build(db, gindex.Options{}))
+	srv.EnableSuggest(catapult.NewSuggester(res.Patterns), cfg.Suggest)
 	srv.EnableObservability(reg.Handler(), func() any {
 		return healthPayload(db.Name, res)
 	})
@@ -239,12 +249,13 @@ func buildMaintainerServerState(ctx context.Context, db *graph.DB, cfg catapult.
 		}
 		catapult.ObserveRecovery(reg, recovery)
 	}
-	api := catapult.NewPatternServer(catapult.PatternServerOptions{Metrics: reg})
+	api := catapult.NewPatternServer(catapult.PatternServerOptions{Metrics: reg, Suggest: cfg.Suggest})
 	if _, err := api.AddTenant(catapult.ServeDefaultTenant, m.ServeSource()); err != nil {
 		return nil, nil, nil, err
 	}
 	srv := webui.NewServer(m.DB().Name, m.Patterns())
 	srv.EnableSearch(gindex.Build(m.DB(), gindex.Options{}))
+	srv.EnableSuggest(catapult.NewSuggester(m.Patterns()), cfg.Suggest)
 	srv.EnableAPI(api)
 	srv.EnableObservability(reg.Handler(), func() any {
 		return maintainerHealth(api, recovery)

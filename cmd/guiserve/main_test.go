@@ -278,6 +278,26 @@ func TestServeModeMountsV1API(t *testing.T) {
 		t.Errorf("/healthz = %+v, want ok at version 2 over 33 graphs", h)
 	}
 
+	// Autocompletion through the shared mux: a pattern's own text is a
+	// partial that the pattern itself completes exactly.
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/suggest?k=3",
+		strings.NewReader(panel.Patterns[0].Text)))
+	if rec.Code != 200 {
+		t.Fatalf("/v1/suggest status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var sug catapult.ServeSuggestResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sug); err != nil {
+		t.Fatal(err)
+	}
+	if sug.Stats.Version != 2 || len(sug.Suggestions) == 0 {
+		t.Fatalf("suggest = version %d with %d suggestions, want version 2 with > 0",
+			sug.Stats.Version, len(sug.Suggestions))
+	}
+	if top := sug.Suggestions[0]; !top.Contained || top.Distance != 0 || top.Text == "" {
+		t.Errorf("top suggestion for an exact pattern partial = %+v, want contained at distance 0 with text", top)
+	}
+
 	// One registry carries the pipeline, maintainer and serving families.
 	got := scrape(t, srv)
 	if v := got[`catapult_serve_requests_total{endpoint="patterns",code="200"}`]; v != 1 {
@@ -291,6 +311,9 @@ func TestServeModeMountsV1API(t *testing.T) {
 	}
 	if v := got[`catapult_stage_runs_total{stage="select"}`]; v < 1 {
 		t.Errorf("select stage runs = %v, want >= 1", v)
+	}
+	if v := got["catapult_suggest_keystroke_seconds_count"]; v != 1 {
+		t.Errorf("suggest keystroke histogram count = %v, want 1", v)
 	}
 }
 

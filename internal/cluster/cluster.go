@@ -117,18 +117,9 @@ type Result struct {
 	Features []*treemine.FrequentTree
 }
 
-// Run performs small graph clustering of db under the given configuration
-// (Algorithm 1, lines 1-2).
-//
-// Deprecated: use RunCtx. This wrapper predates PR 1's context plumbing:
-// it runs uncancellable and reports to no pipeline trace.
-func Run(db *graph.DB, cfg Config) *Result {
-	// context.Background is never cancelled, so RunCtx cannot fail here.
-	res, _ := RunCtx(context.Background(), db, cfg)
-	return res
-}
-
-// RunCtx is Run with cooperative cancellation and tracing: the coarse and
+// RunCtx performs small graph clustering of db under the given
+// configuration (Algorithm 1, lines 1-2), with cooperative cancellation
+// and tracing: the coarse and
 // fine phases check ctx at iteration boundaries and report StageCoarse /
 // StageFine spans to the context's pipeline tracer. On cancellation it
 // returns (nil, ctx.Err()) — no partial clustering.
@@ -179,18 +170,10 @@ func stageRngs(seed int64) (coarseRng, fineRng *rand.Rand) {
 	return rand.New(rand.NewSource(coarseSeed)), rand.New(rand.NewSource(fineSeed))
 }
 
-// Coarse runs only the coarse (Algorithm 2) phase under cfg and returns the
-// clusters and selected subtree features. Exposed for pipelines that need
-// to intervene between the coarse and fine phases (lazy sampling, Sec 4.3).
-//
-// Deprecated: use CoarseCtx. This wrapper predates PR 1's context plumbing:
-// it runs uncancellable and reports to no pipeline trace.
-func Coarse(db *graph.DB, cfg Config) *Result {
-	res, _ := CoarseCtx(context.Background(), db, cfg)
-	return res
-}
-
-// CoarseCtx is Coarse with cooperative cancellation and tracing.
+// CoarseCtx runs only the coarse (Algorithm 2) phase under cfg and returns
+// the clusters and selected subtree features, with cooperative cancellation
+// and tracing. Exposed for pipelines that need to intervene between the
+// coarse and fine phases (lazy sampling, Sec 4.3).
 func CoarseCtx(ctx context.Context, db *graph.DB, cfg Config) (*Result, error) {
 	cfg.defaults()
 	rng, _ := stageRngs(cfg.Seed)
@@ -201,18 +184,10 @@ func CoarseCtx(ctx context.Context, db *graph.DB, cfg Config) (*Result, error) {
 	return &Result{Clusters: cs, Features: feats}, nil
 }
 
-// Fine runs only the fine (Algorithm 3) phase on the given clusters,
-// splitting any cluster larger than cfg.N.
-//
-// Deprecated: use FineCtx. This wrapper predates PR 1's context plumbing:
-// it runs uncancellable and reports to no pipeline trace.
-func Fine(db *graph.DB, in []*Cluster, cfg Config) []*Cluster {
-	cs, _ := FineCtx(context.Background(), db, in, cfg)
-	return cs
-}
-
-// FineCtx is Fine with cooperative cancellation and tracing: ctx is checked
-// before every split and inside the MCS/MCCS similarity searches.
+// FineCtx runs only the fine (Algorithm 3) phase on the given clusters,
+// splitting any cluster larger than cfg.N, with cooperative cancellation
+// and tracing: ctx is checked before every split and inside the MCS/MCCS
+// similarity searches.
 func FineCtx(ctx context.Context, db *graph.DB, in []*Cluster, cfg Config) ([]*Cluster, error) {
 	cfg.defaults()
 	_, rng := stageRngs(cfg.Seed)

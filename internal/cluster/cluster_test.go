@@ -1,12 +1,23 @@
 package cluster
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/graph"
 )
+
+// runT runs RunCtx under a background context, failing the test on error.
+func runT(t *testing.T, db *graph.DB, cfg Config) *Result {
+	t.Helper()
+	res, err := RunCtx(context.Background(), db, cfg)
+	if err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+	return res
+}
 
 func TestKMeansSeparatesObviousClusters(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
@@ -123,7 +134,7 @@ func clusteredDB(nPerFamily int) *graph.DB {
 func TestRunPartitionInvariant(t *testing.T) {
 	db := clusteredDB(8)
 	for _, strat := range []Strategy{CoarseOnly, FineOnlyMCCS, FineOnlyMCS, HybridMCCS, HybridMCS} {
-		res := Run(db, Config{Strategy: strat, N: 6, MinSupport: 0.2, Seed: 7})
+		res := runT(t, db, Config{Strategy: strat, N: 6, MinSupport: 0.2, Seed: 7})
 		seen := make([]bool, db.Len())
 		for _, c := range res.Clusters {
 			for _, m := range c.Members {
@@ -146,7 +157,7 @@ func TestRunPartitionInvariant(t *testing.T) {
 
 func TestFineClusteringRespectsN(t *testing.T) {
 	db := clusteredDB(10)
-	res := Run(db, Config{Strategy: FineOnlyMCCS, N: 5, Seed: 3})
+	res := runT(t, db, Config{Strategy: FineOnlyMCCS, N: 5, Seed: 3})
 	for _, c := range res.Clusters {
 		// Fine clustering accepts an oversize cluster only when a split
 		// makes no progress; with two distinct families splits always
@@ -159,7 +170,7 @@ func TestFineClusteringRespectsN(t *testing.T) {
 
 func TestFineClusteringSeparatesFamilies(t *testing.T) {
 	db := clusteredDB(6)
-	res := Run(db, Config{Strategy: FineOnlyMCCS, N: 6, Seed: 11})
+	res := runT(t, db, Config{Strategy: FineOnlyMCCS, N: 6, Seed: 11})
 	// With N=6 and 12 graphs the first split must separate rings (indices
 	// 0-5) from stars (6-11): rings share no labels with stars so the
 	// MCCS similarity across families is 0.
@@ -180,7 +191,7 @@ func TestFineClusteringSeparatesFamilies(t *testing.T) {
 
 func TestCoarseProducesFeatures(t *testing.T) {
 	db := clusteredDB(8)
-	res := Run(db, Config{Strategy: CoarseOnly, N: 6, MinSupport: 0.2, Seed: 5})
+	res := runT(t, db, Config{Strategy: CoarseOnly, N: 6, MinSupport: 0.2, Seed: 5})
 	if len(res.Features) == 0 {
 		t.Error("coarse clustering produced no subtree features")
 	}
@@ -191,7 +202,7 @@ func TestCoarseProducesFeatures(t *testing.T) {
 
 func TestHybridRespectsNWithProgress(t *testing.T) {
 	db := clusteredDB(12)
-	res := Run(db, Config{Strategy: HybridMCCS, N: 4, MinSupport: 0.2, Seed: 13})
+	res := runT(t, db, Config{Strategy: HybridMCCS, N: 4, MinSupport: 0.2, Seed: 13})
 	total := 0
 	for _, c := range res.Clusters {
 		total += c.Len()
@@ -218,8 +229,8 @@ func TestStrategyString(t *testing.T) {
 
 func TestRunDeterministicForSeed(t *testing.T) {
 	db := clusteredDB(6)
-	a := Run(db, Config{Strategy: HybridMCCS, N: 5, MinSupport: 0.2, Seed: 21})
-	b := Run(db, Config{Strategy: HybridMCCS, N: 5, MinSupport: 0.2, Seed: 21})
+	a := runT(t, db, Config{Strategy: HybridMCCS, N: 5, MinSupport: 0.2, Seed: 21})
+	b := runT(t, db, Config{Strategy: HybridMCCS, N: 5, MinSupport: 0.2, Seed: 21})
 	if len(a.Clusters) != len(b.Clusters) {
 		t.Fatalf("nondeterministic cluster count: %d vs %d", len(a.Clusters), len(b.Clusters))
 	}

@@ -64,7 +64,7 @@ func TestCoarseWithFeaturesMatchesRunCoarse(t *testing.T) {
 	// When features come from the same mining configuration, the cluster
 	// count should be in the same ballpark as Run with CoarseOnly.
 	db := clusteredDB(10)
-	viaRun := Run(db, Config{Strategy: CoarseOnly, N: 5, MinSupport: 0.3, Seed: 9})
+	viaRun := runT(t, db, Config{Strategy: CoarseOnly, N: 5, MinSupport: 0.3, Seed: 9})
 	mined := treemine.Mine(db, treemine.MineOptions{MinSupport: 0.3, MaxEdges: 3})
 	sel := treemine.SelectFeatures(mined, 40)
 	direct := CoarseWithFeatures(db, sel, Config{N: 5, MinSupport: 0.3, Seed: 9})

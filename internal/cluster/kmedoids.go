@@ -24,39 +24,20 @@ type DistanceFunc func(a, b *graph.Graph) float64
 // computation.
 func MCCSDistance(budget int) DistanceFunc {
 	return func(a, b *graph.Graph) float64 {
-		return 1 - mcs.SimilarityMCCS(a, b, budget)
+		// context.Background is never cancelled, so the search cannot fail.
+		s, _ := mcs.SimilarityMCCSCtx(context.Background(), a, b, budget)
+		return 1 - s
 	}
 }
 
-// KMedoids clusters db into at most k clusters with the PAM-style
+// KMedoidsCtx clusters db into at most k clusters with the PAM-style
 // alternating algorithm: medoids seeded by a k-means++-like D² rule,
 // points assigned to the nearest medoid, medoids re-chosen as the
 // assignment cost minimizer, until stable or maxIter rounds. Distances
 // are computed once into a matrix, so this is intended for the modest
 // database sizes the fine-clustering stage handles (N·k ≲ a few hundred).
-// The matrix is filled by direct per-pair calls to dist; KMedoidsCtx is
-// the memoized, parallel variant.
-//
-// Deprecated: use KMedoidsCtx. This wrapper predates PR 1's context plumbing:
-// it runs uncancellable and reports to no pipeline trace.
-func KMedoids(db *graph.DB, k int, dist DistanceFunc, seed int64, maxIter int) []*Cluster {
-	n := db.Len()
-	if n == 0 {
-		return nil
-	}
-	d := newDistMatrix(n)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			v := dist(db.Graph(i), db.Graph(j))
-			d[i][j] = v
-			d[j][i] = v
-		}
-	}
-	return pamCluster(d, k, seed, maxIter)
-}
-
-// KMedoidsCtx clusters db like KMedoids but computes the pairwise distance
-// matrix through a simcache engine: matrix rows fan out across workers via
+// The pairwise distance matrix is computed through a simcache engine:
+// matrix rows fan out across workers via
 // par.ForCtx and isomorphic pairs share one memoized MCS/MCCS search.
 // Distances are 1 - similarity under the engine's configured measure.
 // Because every engine value is a pure function of its canonical pair, the

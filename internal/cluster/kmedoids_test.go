@@ -1,14 +1,28 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/simcache"
 )
+
+// kmedoidsT runs KMedoidsCtx with a fresh MCCS simcache engine at the
+// given per-pair budget, failing the test on error.
+func kmedoidsT(t *testing.T, db *graph.DB, k, budget int, seed int64, maxIter int) []*Cluster {
+	t.Helper()
+	eng := simcache.New(db.Graphs, simcache.Options{Budget: budget})
+	cs, err := KMedoidsCtx(context.Background(), db, k, eng, seed, maxIter)
+	if err != nil {
+		t.Fatalf("KMedoidsCtx: %v", err)
+	}
+	return cs
+}
 
 func TestKMedoidsSeparatesFamilies(t *testing.T) {
 	db := clusteredDB(6) // 6 rings then 6 stars
-	cs := KMedoids(db, 2, MCCSDistance(5000), 3, 0)
+	cs := kmedoidsT(t, db, 2, 5000, 3, 0)
 	if len(cs) != 2 {
 		t.Fatalf("clusters = %d, want 2", len(cs))
 	}
@@ -29,7 +43,7 @@ func TestKMedoidsSeparatesFamilies(t *testing.T) {
 
 func TestKMedoidsPartition(t *testing.T) {
 	db := clusteredDB(5)
-	cs := KMedoids(db, 3, MCCSDistance(2000), 7, 10)
+	cs := kmedoidsT(t, db, 3, 2000, 7, 10)
 	seen := make([]bool, db.Len())
 	for _, c := range cs {
 		for _, m := range c.Members {
@@ -47,11 +61,11 @@ func TestKMedoidsPartition(t *testing.T) {
 }
 
 func TestKMedoidsEdgeCases(t *testing.T) {
-	if out := KMedoids(graph.NewDB("e", nil), 2, MCCSDistance(100), 1, 0); out != nil {
+	if out := kmedoidsT(t, graph.NewDB("e", nil), 2, 100, 1, 0); out != nil {
 		t.Error("empty DB should return nil")
 	}
 	db := clusteredDB(1) // 2 graphs
-	cs := KMedoids(db, 10, MCCSDistance(100), 1, 0)
+	cs := kmedoidsT(t, db, 10, 100, 1, 0)
 	total := 0
 	for _, c := range cs {
 		total += c.Len()
@@ -60,7 +74,7 @@ func TestKMedoidsEdgeCases(t *testing.T) {
 		t.Errorf("k > n partition broken: %d of %d", total, db.Len())
 	}
 	// k <= 0 coerced to 1.
-	one := KMedoids(db, 0, MCCSDistance(100), 1, 0)
+	one := kmedoidsT(t, db, 0, 100, 1, 0)
 	if len(one) != 1 {
 		t.Errorf("k=0 should give one cluster, got %d", len(one))
 	}
@@ -68,8 +82,8 @@ func TestKMedoidsEdgeCases(t *testing.T) {
 
 func TestKMedoidsDeterministic(t *testing.T) {
 	db := clusteredDB(4)
-	a := KMedoids(db, 2, MCCSDistance(2000), 11, 0)
-	b := KMedoids(db, 2, MCCSDistance(2000), 11, 0)
+	a := kmedoidsT(t, db, 2, 2000, 11, 0)
+	b := kmedoidsT(t, db, 2, 2000, 11, 0)
 	if len(a) != len(b) {
 		t.Fatal("nondeterministic cluster count")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/graph"
@@ -72,7 +73,7 @@ func TestGenerateBFSCandidateDeterministic(t *testing.T) {
 func TestSelectBFSAblationStillWorks(t *testing.T) {
 	db, csgs := testSetup()
 	ctx := NewContext(db, csgs)
-	res, err := Select(ctx, Budget{EtaMin: 3, EtaMax: 5, Gamma: 4}, Options{Seed: 3, BFSCandidates: true})
+	res, err := SelectCtx(context.Background(), ctx, Budget{EtaMin: 3, EtaMax: 5, Gamma: 4}, Options{Seed: 3, BFSCandidates: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestSelectBFSAblationStillWorks(t *testing.T) {
 func TestSelectNoDivAblationAvoidsDuplicates(t *testing.T) {
 	db, csgs := testSetup()
 	ctx := NewContext(db, csgs)
-	res, err := Select(ctx, Budget{EtaMin: 3, EtaMax: 5, Gamma: 6},
+	res, err := SelectCtx(context.Background(), ctx, Budget{EtaMin: 3, EtaMax: 5, Gamma: 6},
 		Options{Seed: 5, DisableDiversity: true})
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -247,7 +248,7 @@ func TestUpdateWeightsHalves(t *testing.T) {
 func TestSelectBasic(t *testing.T) {
 	db, csgs := testSetup()
 	ctx := NewContext(db, csgs)
-	res, err := Select(ctx, Budget{EtaMin: 3, EtaMax: 5, Gamma: 4}, Options{Seed: 7})
+	res, err := SelectCtx(context.Background(), ctx, Budget{EtaMin: 3, EtaMax: 5, Gamma: 4}, Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func TestSelectRespectsSizeQuota(t *testing.T) {
 	db, csgs := testSetup()
 	ctx := NewContext(db, csgs)
 	// γ=2 over sizes {3,4}: quota 1 per size.
-	res, err := Select(ctx, Budget{EtaMin: 3, EtaMax: 4, Gamma: 2}, Options{Seed: 3})
+	res, err := SelectCtx(context.Background(), ctx, Budget{EtaMin: 3, EtaMax: 4, Gamma: 2}, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +294,7 @@ func TestSelectCustomSizeDist(t *testing.T) {
 	db, csgs := testSetup()
 	ctx := NewContext(db, csgs)
 	b := Budget{EtaMin: 3, EtaMax: 5, Gamma: 3, SizeDist: map[int]int{4: 3}}
-	res, err := Select(ctx, b, Options{Seed: 5})
+	res, err := SelectCtx(context.Background(), ctx, b, Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +308,7 @@ func TestSelectCustomSizeDist(t *testing.T) {
 func TestSelectInvalidBudget(t *testing.T) {
 	db, csgs := testSetup()
 	ctx := NewContext(db, csgs)
-	if _, err := Select(ctx, Budget{EtaMin: 1, EtaMax: 4, Gamma: 2}, Options{}); err == nil {
+	if _, err := SelectCtx(context.Background(), ctx, Budget{EtaMin: 1, EtaMax: 4, Gamma: 2}, Options{}); err == nil {
 		t.Error("invalid budget accepted")
 	}
 }
@@ -315,7 +316,7 @@ func TestSelectInvalidBudget(t *testing.T) {
 func TestSelectNoDuplicatePatterns(t *testing.T) {
 	db, csgs := testSetup()
 	ctx := NewContext(db, csgs)
-	res, err := Select(ctx, Budget{EtaMin: 3, EtaMax: 6, Gamma: 8}, Options{Seed: 11})
+	res, err := SelectCtx(context.Background(), ctx, Budget{EtaMin: 3, EtaMax: 6, Gamma: 8}, Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,11 +338,11 @@ func TestSelectNoDuplicatePatterns(t *testing.T) {
 func TestSelectDeterministicForSeed(t *testing.T) {
 	db, csgs := testSetup()
 	b := Budget{EtaMin: 3, EtaMax: 5, Gamma: 4}
-	r1, err := Select(NewContext(db, csgs), b, Options{Seed: 42})
+	r1, err := SelectCtx(context.Background(), NewContext(db, csgs), b, Options{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Select(NewContext(db, csgs), b, Options{Seed: 42})
+	r2, err := SelectCtx(context.Background(), NewContext(db, csgs), b, Options{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +359,7 @@ func TestSelectDeterministicForSeed(t *testing.T) {
 func TestSelectTopCSGsRestriction(t *testing.T) {
 	db, csgs := testSetup()
 	ctx := NewContext(db, csgs)
-	res, err := Select(ctx, Budget{EtaMin: 3, EtaMax: 4, Gamma: 2}, Options{Seed: 13, TopCSGs: 1})
+	res, err := SelectCtx(context.Background(), ctx, Budget{EtaMin: 3, EtaMax: 4, Gamma: 2}, Options{Seed: 13, TopCSGs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +374,7 @@ func TestSelectExhaustionOnTinyDB(t *testing.T) {
 	c := csg.Build(db, []int{0})
 	ctx := NewContext(db, []*csg.CSG{c})
 	// Ask for far more patterns than the 3-edge database can provide.
-	res, err := Select(ctx, Budget{EtaMin: 3, EtaMax: 3, Gamma: 10}, Options{Seed: 17})
+	res, err := SelectCtx(context.Background(), ctx, Budget{EtaMin: 3, EtaMax: 3, Gamma: 10}, Options{Seed: 17})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -155,11 +155,11 @@ func TestDifferentialSelect(t *testing.T) {
 		opts := Options{Walks: 8, Seed: seed, SeedSet: true,
 			QueryLog: diffPatterns(db, 6, rand.New(rand.NewSource(seed^0x5eed)))}
 
-		ra, err := Select(engCtx, b, opts)
+		ra, err := SelectCtx(context.Background(), engCtx, b, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rb, err := Select(naiveCtx, b, opts)
+		rb, err := SelectCtx(context.Background(), naiveCtx, b, opts)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -48,7 +48,7 @@ func TestSelectWithQueryLogPrefersLoggedStructures(t *testing.T) {
 		pathGraph("N", "C", "O", "S", "N"),
 		pathGraph("C", "O", "S"),
 	}
-	with, err := Select(NewContext(db, csgs), Budget{EtaMin: 3, EtaMax: 4, Gamma: 1},
+	with, err := SelectCtx(context.Background(), NewContext(db, csgs), Budget{EtaMin: 3, EtaMax: 4, Gamma: 1},
 		Options{Seed: 9, QueryLog: log})
 	if err != nil {
 		t.Fatal(err)

@@ -12,18 +12,9 @@ import (
 	"repro/internal/resilience"
 )
 
-// Select runs Algorithm 4: greedy, one canned pattern per iteration, until
-// the budget γ is met or no scoring candidate remains.
-//
-// Deprecated: use SelectCtx. This wrapper predates PR 1's context plumbing:
-// it runs uncancellable and reports to no pipeline trace.
-func Select(ctx *Context, b Budget, opts Options) (*Result, error) {
-	// context.Background is never cancelled, so any error from SelectCtx is
-	// a budget validation error, which both variants surface identically.
-	return SelectCtx(context.Background(), ctx, b, opts)
-}
-
-// SelectCtx is Select with cooperative cancellation and tracing. The greedy
+// SelectCtx runs Algorithm 4 — greedy, one canned pattern per iteration,
+// until the budget γ is met or no scoring candidate remains — with
+// cooperative cancellation and tracing. The greedy
 // loop checks stdctx at every iteration boundary, and cancellation also
 // propagates into candidate generation (between walks), scoring (VF2 /
 // pruned-GED searches) and the weight update. The whole phase is reported

@@ -129,6 +129,17 @@ func New(hosts []*graph.Graph, opts Options) *Engine {
 // NumHosts returns the number of hosts the engine evaluates against.
 func (e *Engine) NumHosts() int { return len(e.hosts) }
 
+// Candidates returns the host indices whose path features are compatible
+// with containing p — the same superset-of-the-answer pruning Verdicts
+// applies before VF2, exposed so callers with their own degradation
+// ladder (the suggestion engine under a keystroke budget) can fall back
+// to the pruned-but-unverified candidate set when full verification does
+// not fit the budget. The returned slice is freshly allocated and sorted
+// ascending.
+func (e *Engine) Candidates(p *graph.Graph) []int {
+	return e.idx.Candidates(p)
+}
+
 // Stats returns a snapshot of the accumulated counters.
 func (e *Engine) Stats() Stats {
 	return Stats{

@@ -304,7 +304,9 @@ func (s *Searcher) result() Result {
 	return Result{Pairs: pairs, Edges: s.bestEdge, Exhausted: s.nodes >= s.budget}
 }
 
-// MCCSCtx is MCCS with cooperative cancellation: the backtracking search
+// MCCSCtx returns a maximum connected common subgraph of g1 and g2 within
+// the given node budget (DefaultBudget if budget <= 0), with cooperative
+// cancellation: the backtracking search
 // polls ctx at node-expansion boundaries and returns ctx.Err() when
 // cancelled. Each call is counted on the context's pipeline tracer
 // (CounterMCSCalls). Both graphs are frozen on first use (memoized on the
@@ -327,7 +329,9 @@ func MCCSCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (Result, erro
 	return r, nil
 }
 
-// MCSCtx is MCS with cooperative cancellation, checked between (and
+// MCSCtx returns a maximum common subgraph (possibly disconnected),
+// computed as a greedy union of MCCS components with the shared budget
+// split across component searches. Cancellation is checked between (and
 // inside) the component MCCS searches. The greedy union masks matched
 // vertices instead of tombstone-relabeling graph clones, but round
 // budgets, counters and component searches mirror MCSLegacyCtx exactly.
@@ -370,7 +374,8 @@ func MCSCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (Result, error
 	return Result{Pairs: all, Edges: total, Exhausted: exhausted}, nil
 }
 
-// SimilarityMCCSCtx is SimilarityMCCS with cooperative cancellation.
+// SimilarityMCCSCtx returns ωmccs(g1,g2) ∈ [0,1], with cooperative
+// cancellation.
 func SimilarityMCCSCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (float64, error) {
 	m := min(g1.NumEdges(), g2.NumEdges())
 	if m == 0 {
@@ -391,7 +396,8 @@ func SimilarityMCCSCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (fl
 	return float64(edges) / float64(m), nil
 }
 
-// SimilarityMCSCtx is SimilarityMCS with cooperative cancellation.
+// SimilarityMCSCtx returns ωmcs(g1,g2) ∈ [0,1], with cooperative
+// cancellation.
 func SimilarityMCSCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (float64, error) {
 	m := min(g1.NumEdges(), g2.NumEdges())
 	if m == 0 {

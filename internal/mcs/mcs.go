@@ -109,16 +109,6 @@ type searcher struct {
 // search nodes.
 const ctxCheckMask = 0xff
 
-// MCCS returns a maximum connected common subgraph of g1 and g2 within the
-// given node budget (DefaultBudget if budget <= 0).
-//
-// Deprecated: use MCCSCtx. This wrapper predates PR 1's context plumbing:
-// it runs uncancellable and reports to no pipeline trace.
-func MCCS(g1, g2 *graph.Graph, budget int) Result {
-	r, _ := MCCSCtx(context.Background(), g1, g2, budget)
-	return r
-}
-
 // MCCSLegacyCtx is MCCSCtx on the mutable-graph representation: string
 // label comparisons, per-node candidate allocation, map-based dedup. It
 // explores the exact same search tree as the frozen searcher and exists
@@ -160,17 +150,6 @@ func MCCSLegacyCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (Result
 	}, nil
 }
 
-// MCS returns a maximum common subgraph (possibly disconnected), computed as
-// a greedy union of MCCS components. The shared budget is split across
-// component searches.
-//
-// Deprecated: use MCSCtx. This wrapper predates PR 1's context plumbing:
-// it runs uncancellable and reports to no pipeline trace.
-func MCS(g1, g2 *graph.Graph, budget int) Result {
-	r, _ := MCSCtx(context.Background(), g1, g2, budget)
-	return r
-}
-
 // MCSLegacyCtx is MCSCtx on the mutable-graph representation; see
 // MCCSLegacyCtx.
 func MCSLegacyCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (Result, error) {
@@ -203,15 +182,6 @@ func MCSLegacyCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (Result,
 	return Result{Pairs: all, Edges: total, Exhausted: exhausted}, nil
 }
 
-// SimilarityMCCS returns ωmccs(g1,g2) ∈ [0,1].
-//
-// Deprecated: use SimilarityMCCSCtx. This wrapper predates PR 1's context plumbing:
-// it runs uncancellable and reports to no pipeline trace.
-func SimilarityMCCS(g1, g2 *graph.Graph, budget int) float64 {
-	s, _ := SimilarityMCCSCtx(context.Background(), g1, g2, budget)
-	return s
-}
-
 // SimilarityMCCSLegacyCtx is SimilarityMCCSCtx on the mutable-graph
 // representation; see MCCSLegacyCtx.
 func SimilarityMCCSLegacyCtx(ctx context.Context, g1, g2 *graph.Graph, budget int) (float64, error) {
@@ -224,15 +194,6 @@ func SimilarityMCCSLegacyCtx(ctx context.Context, g1, g2 *graph.Graph, budget in
 		return 0, err
 	}
 	return float64(r.Edges) / float64(m), nil
-}
-
-// SimilarityMCS returns ωmcs(g1,g2) ∈ [0,1].
-//
-// Deprecated: use SimilarityMCSCtx. This wrapper predates PR 1's context plumbing:
-// it runs uncancellable and reports to no pipeline trace.
-func SimilarityMCS(g1, g2 *graph.Graph, budget int) float64 {
-	s, _ := SimilarityMCSCtx(context.Background(), g1, g2, budget)
-	return s
 }
 
 // SimilarityMCSLegacyCtx is SimilarityMCSCtx on the mutable-graph

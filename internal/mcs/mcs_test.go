@@ -1,6 +1,7 @@
 package mcs
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -8,6 +9,24 @@ import (
 	"repro/internal/graph"
 	"repro/internal/subiso"
 )
+
+// Background-context conveniences for the Ctx search entry points used
+// throughout these tests; context.Background is never cancelled, so the
+// error leg is structurally nil.
+func mccs(g1, g2 *graph.Graph, budget int) Result {
+	r, _ := MCCSCtx(context.Background(), g1, g2, budget)
+	return r
+}
+
+func mcsOf(g1, g2 *graph.Graph, budget int) Result {
+	r, _ := MCSCtx(context.Background(), g1, g2, budget)
+	return r
+}
+
+func simMCCS(g1, g2 *graph.Graph, budget int) float64 {
+	s, _ := SimilarityMCCSCtx(context.Background(), g1, g2, budget)
+	return s
+}
 
 func build(labels []string, edges [][2]int) *graph.Graph {
 	g := graph.New(len(labels), len(edges))
@@ -33,11 +52,11 @@ func path(labels ...string) *graph.Graph {
 
 func TestMCCSIdenticalGraphs(t *testing.T) {
 	g := build([]string{"C", "O", "N"}, [][2]int{{0, 1}, {1, 2}, {2, 0}})
-	r := MCCS(g, g.Clone(), 0)
+	r := mccs(g, g.Clone(), 0)
 	if r.Edges != 3 {
-		t.Errorf("MCCS(G,G) edges = %d, want 3", r.Edges)
+		t.Errorf("mccs(G,G) edges = %d, want 3", r.Edges)
 	}
-	if got := SimilarityMCCS(g, g.Clone(), 0); got != 1.0 {
+	if got := simMCCS(g, g.Clone(), 0); got != 1.0 {
 		t.Errorf("self similarity = %v, want 1", got)
 	}
 }
@@ -45,11 +64,11 @@ func TestMCCSIdenticalGraphs(t *testing.T) {
 func TestMCCSDisjointLabels(t *testing.T) {
 	g1 := path("C", "C", "C")
 	g2 := path("N", "N", "N")
-	r := MCCS(g1, g2, 0)
+	r := mccs(g1, g2, 0)
 	if r.Edges != 0 {
 		t.Errorf("disjoint-label MCCS edges = %d, want 0", r.Edges)
 	}
-	if SimilarityMCCS(g1, g2, 0) != 0 {
+	if simMCCS(g1, g2, 0) != 0 {
 		t.Error("disjoint-label similarity should be 0")
 	}
 }
@@ -58,11 +77,11 @@ func TestMCCSPartialOverlap(t *testing.T) {
 	// G1 = C-O-N, G2 = C-O-S: common connected part is C-O (1 edge).
 	g1 := path("C", "O", "N")
 	g2 := path("C", "O", "S")
-	r := MCCS(g1, g2, 0)
+	r := mccs(g1, g2, 0)
 	if r.Edges != 1 {
 		t.Errorf("MCCS edges = %d, want 1", r.Edges)
 	}
-	if got, want := SimilarityMCCS(g1, g2, 0), 0.5; got != want {
+	if got, want := simMCCS(g1, g2, 0), 0.5; got != want {
 		t.Errorf("similarity = %v, want %v", got, want)
 	}
 }
@@ -72,14 +91,14 @@ func TestMCCSConnectivityConstraint(t *testing.T) {
 	// joined through an S vertex: O-C-S-C-N.
 	g1 := path("O", "C", "C", "N")
 	g2 := path("O", "C", "S", "C", "N")
-	r := MCCS(g1, g2, 0)
+	r := mccs(g1, g2, 0)
 	// Connected common subgraphs: O-C-C is impossible (no C-C edge in G2);
 	// O-C (1 edge) or C-N (1 edge). MCCS = 1.
 	if r.Edges != 1 {
 		t.Errorf("MCCS edges = %d, want 1 (connectivity must bound it)", r.Edges)
 	}
 	// MCS (unconnected) may take both O-C and C-N: 2 edges.
-	m := MCS(g1, g2, 0)
+	m := mcsOf(g1, g2, 0)
 	if m.Edges != 2 {
 		t.Errorf("MCS edges = %d, want 2", m.Edges)
 	}
@@ -90,7 +109,7 @@ func TestMCCSResultIsValidCommonSubgraph(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		g1 := randomConnectedGraph(rng, 8, 11)
 		g2 := randomConnectedGraph(rng, 8, 11)
-		r := MCCS(g1, g2, 0)
+		r := mccs(g1, g2, 0)
 		if r.Edges == 0 {
 			continue
 		}
@@ -139,10 +158,10 @@ func TestMCSGreedyUnionValid(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		g1 := randomConnectedGraph(rng, 8, 10)
 		g2 := randomConnectedGraph(rng, 8, 10)
-		r := MCS(g1, g2, 0)
+		r := mcsOf(g1, g2, 0)
 		checkValidMapping(t, g1, g2, r)
 		// MCS >= MCCS always.
-		if c := MCCS(g1, g2, 0); r.Edges < c.Edges {
+		if c := mccs(g1, g2, 0); r.Edges < c.Edges {
 			t.Fatalf("MCS (%d) < MCCS (%d)", r.Edges, c.Edges)
 		}
 	}
@@ -153,8 +172,8 @@ func TestSimilaritySymmetryProperty(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		g1 := randomConnectedGraph(r, 7, 9)
 		g2 := randomConnectedGraph(r, 7, 9)
-		a := SimilarityMCCS(g1, g2, 0)
-		b := SimilarityMCCS(g2, g1, 0)
+		a := simMCCS(g1, g2, 0)
+		b := simMCCS(g2, g1, 0)
 		return a >= 0 && a <= 1 && abs(a-b) < 1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
@@ -174,7 +193,7 @@ func TestSubgraphContainmentImpliesFullSimilarity(t *testing.T) {
 		if !subiso.Contains(g, p) {
 			t.Fatal("extraction broken")
 		}
-		if got := SimilarityMCCS(p, g, 0); got != 1.0 {
+		if got := simMCCS(p, g, 0); got != 1.0 {
 			t.Errorf("ωmccs(p⊆G, G) = %v, want 1", got)
 		}
 	}
@@ -184,7 +203,7 @@ func TestBudgetExhaustionFlag(t *testing.T) {
 	rng := rand.New(rand.NewSource(19))
 	g1 := randomConnectedGraph(rng, 20, 35)
 	g2 := randomConnectedGraph(rng, 20, 35)
-	r := MCCS(g1, g2, 10)
+	r := mccs(g1, g2, 10)
 	if !r.Exhausted {
 		t.Error("tiny budget should mark result exhausted")
 	}
@@ -195,7 +214,7 @@ func TestBudgetExhaustionFlag(t *testing.T) {
 func TestEmptyEdgeGraphs(t *testing.T) {
 	g1 := build([]string{"C"}, nil)
 	g2 := build([]string{"C"}, nil)
-	if s := SimilarityMCCS(g1, g2, 0); s != 0 {
+	if s := simMCCS(g1, g2, 0); s != 0 {
 		t.Errorf("edgeless similarity = %v, want 0", s)
 	}
 }
@@ -231,6 +250,6 @@ func BenchmarkMCCS(b *testing.B) {
 	g2 := randomConnectedGraph(rng, 15, 20)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		MCCS(g1, g2, 20000)
+		mccs(g1, g2, 20000)
 	}
 }

@@ -12,7 +12,7 @@ func TestSelfMCCSProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		g := randomConnectedGraph(r, 4+r.Intn(5), 4+r.Intn(6))
-		res := MCCS(g, g.Clone(), 0)
+		res := mccs(g, g.Clone(), 0)
 		return res.Edges == g.NumEdges()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
@@ -27,7 +27,7 @@ func TestMCCSBoundsProperty(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		g1 := randomConnectedGraph(r, 4+r.Intn(5), 4+r.Intn(6))
 		g2 := randomConnectedGraph(r, 4+r.Intn(5), 4+r.Intn(6))
-		res := MCCS(g1, g2, 5000)
+		res := mccs(g1, g2, 5000)
 		min := g1.NumEdges()
 		if g2.NumEdges() < min {
 			min = g2.NumEdges()
@@ -35,7 +35,7 @@ func TestMCCSBoundsProperty(t *testing.T) {
 		if res.Edges < 0 || res.Edges > min {
 			return false
 		}
-		s := SimilarityMCCS(g1, g2, 5000)
+		s := simMCCS(g1, g2, 5000)
 		return s >= 0 && s <= 1
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {

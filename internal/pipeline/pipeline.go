@@ -70,6 +70,10 @@ const (
 	// StageNetSummarize spans random-walk sampling of per-region
 	// representative subgraphs into the synthetic summary DB.
 	StageNetSummarize Stage = "net-summarize"
+	// StageSuggest spans one online autocompletion call: candidate
+	// pruning, containment verification and closeness ranking of a
+	// partial query against a canned pattern set (internal/suggest).
+	StageSuggest Stage = "suggest"
 )
 
 // Counter names a monotonically accumulated pipeline statistic.
@@ -140,6 +144,13 @@ const (
 	// CounterStorePersists counts snapshot generations durably committed
 	// (tmp written, fsynced, renamed into place).
 	CounterStorePersists Counter = "store_persists"
+	// CounterSuggestCandidates counts candidate patterns that survived
+	// index pruning in an autocompletion call.
+	CounterSuggestCandidates Counter = "suggest_candidates"
+	// CounterSuggestRanked counts candidate patterns whose closeness
+	// ranking actually ran (reported one at a time, before each ranking
+	// step, so the chaos suite can stall or kill ranking mid-prefix).
+	CounterSuggestRanked Counter = "suggest_ranked"
 )
 
 // Trace observes pipeline execution. Implementations must be safe for

@@ -1,0 +1,212 @@
+// Session: the incremental, keystroke-level view of query formulation.
+// The batch model in this package (Steps, Evaluate) scores a pattern set
+// by solving the whole cover at once; a Session instead replays how a
+// user actually reaches the target — one manual vertex/edge action at a
+// time, occasionally accepting an autocompletion suggestion that replaces
+// the canvas with a canned pattern. The resulting StepResult is directly
+// comparable to the batch model's, so the serving-layer keystroke harness
+// can report steps saved (μ) with the same accounting as Sec 6.1.
+package queryform
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/subiso"
+)
+
+// acceptEmbeddings caps the embeddings examined per Accept call.
+const acceptEmbeddings = 32
+
+// Session replays the formulation of one target query. The session tracks
+// which target vertices and edges exist on the canvas; ManualStep grows
+// the canvas by one edge (keeping it connected while possible), Accept
+// replaces it with an embedded canned pattern, and Partial renders the
+// canvas as the partial query a suggestion request posts.
+type Session struct {
+	target *graph.Graph
+	builtV []bool
+	builtE []bool // parallel to target.Edges()
+
+	steps    int // actions taken so far (StepP accounting)
+	accepts  int // suggestions accepted (pattern drags)
+	relabels int
+}
+
+// NewSession starts formulating target. The target must have at least one
+// vertex.
+func NewSession(target *graph.Graph) (*Session, error) {
+	if target == nil || target.NumVertices() == 0 {
+		return nil, fmt.Errorf("queryform: session needs a non-empty target")
+	}
+	return &Session{
+		target: target,
+		builtV: make([]bool, target.NumVertices()),
+		builtE: make([]bool, target.NumEdges()),
+	}, nil
+}
+
+// Done reports whether the canvas equals the target.
+func (s *Session) Done() bool {
+	for _, b := range s.builtV {
+		if !b {
+			return false
+		}
+	}
+	for _, b := range s.builtE {
+		if !b {
+			return false
+		}
+	}
+	return true
+}
+
+// Steps returns the actions taken so far.
+func (s *Session) Steps() int { return s.steps }
+
+// Accepted returns the number of suggestions accepted so far.
+func (s *Session) Accepted() int { return s.accepts }
+
+// Partial renders the current canvas as a standalone graph — the partial
+// query a /v1/suggest call posts. Vertex order follows the target's, so
+// repeated calls at the same canvas state are identical.
+func (s *Session) Partial() *graph.Graph {
+	nv := 0
+	for _, b := range s.builtV {
+		if b {
+			nv++
+		}
+	}
+	ne := 0
+	for _, b := range s.builtE {
+		if b {
+			ne++
+		}
+	}
+	p := graph.New(nv, ne)
+	remap := make([]graph.VertexID, s.target.NumVertices())
+	for v := 0; v < s.target.NumVertices(); v++ {
+		if s.builtV[v] {
+			remap[v] = p.AddVertex(s.target.Label(graph.VertexID(v)))
+		}
+	}
+	for i, e := range s.target.Edges() {
+		if s.builtE[i] {
+			p.MustAddEdge(remap[e.U], remap[e.V])
+		}
+	}
+	return p
+}
+
+// ManualStep performs the user's next by-hand action: build one more edge
+// of the target (preferring an edge touching the existing canvas, so the
+// partial stays connected while the target allows), or — once every edge
+// exists — add one remaining isolated vertex. Each new vertex and each
+// new edge costs one step, exactly the batch model's accounting. It
+// returns false when the session is already done.
+func (s *Session) ManualStep() bool {
+	if s.nextEdge() {
+		return true
+	}
+	// All edges built: add remaining isolated vertices one at a time.
+	for v := range s.builtV {
+		if !s.builtV[v] {
+			s.builtV[v] = true
+			s.steps++
+			return true
+		}
+	}
+	return false
+}
+
+// nextEdge builds the next unbuilt edge, preferring one adjacent to the
+// canvas; it reports whether an edge was built.
+func (s *Session) nextEdge() bool {
+	es := s.target.Edges()
+	pick := -1
+	for i, e := range es {
+		if s.builtE[i] {
+			continue
+		}
+		if s.builtV[e.U] || s.builtV[e.V] {
+			pick = i
+			break
+		}
+		if pick < 0 {
+			pick = i
+		}
+	}
+	if pick < 0 {
+		return false
+	}
+	e := es[pick]
+	for _, v := range []graph.VertexID{e.U, e.V} {
+		if !s.builtV[v] {
+			s.builtV[v] = true
+			s.steps++
+		}
+	}
+	s.builtE[pick] = true
+	s.steps++
+	return true
+}
+
+// Accept applies an autocompletion suggestion: the user drags pattern p
+// onto the canvas, replacing the partial with the whole pattern. The drag
+// is valid only if p embeds into the target through an embedding whose
+// image extends the current canvas (covers every built edge) — otherwise
+// the pattern cannot merge with what the user already drew, Accept
+// reports false, and the canvas is unchanged. A valid accept costs one
+// step regardless of the pattern's size: that asymmetry is the entire
+// point of canned patterns.
+func (s *Session) Accept(p *graph.Graph) bool {
+	if p == nil || p.NumEdges() == 0 ||
+		p.NumVertices() > s.target.NumVertices() || p.NumEdges() > s.target.NumEdges() {
+		return false
+	}
+	es := s.target.Edges()
+	for _, m := range subiso.FindAll(s.target, p, subiso.Options{MaxSolutions: acceptEmbeddings}) {
+		// Image of p's edges under the embedding m.
+		img := make(map[graph.Edge]bool, p.NumEdges())
+		for _, pe := range p.Edges() {
+			img[graph.NewEdge(m[pe.U], m[pe.V])] = true
+		}
+		extends := true
+		for i, e := range es {
+			if s.builtE[i] && !img[graph.NewEdge(e.U, e.V)] {
+				extends = false
+				break
+			}
+		}
+		if !extends {
+			continue
+		}
+		// Commit: the canvas becomes the embedded pattern.
+		for v := range s.builtV {
+			s.builtV[v] = false
+		}
+		for _, v := range m {
+			s.builtV[v] = true
+		}
+		for i, e := range es {
+			s.builtE[i] = img[graph.NewEdge(e.U, e.V)]
+		}
+		s.steps++
+		s.accepts++
+		return true
+	}
+	return false
+}
+
+// Result summarizes the finished (or abandoned) session in the batch
+// model's terms, so μ = Result().Mu() compares directly against
+// Steps(target, panel).
+func (s *Session) Result() StepResult {
+	return StepResult{
+		StepTotal:    s.target.NumVertices() + s.target.NumEdges(),
+		StepP:        s.steps,
+		PatternsUsed: s.accepts,
+		Relabels:     s.relabels,
+		Missed:       s.accepts == 0,
+	}
+}

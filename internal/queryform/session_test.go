@@ -1,0 +1,123 @@
+package queryform
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func sessPath(labels ...string) *graph.Graph {
+	g := graph.New(len(labels), len(labels)-1)
+	for _, l := range labels {
+		g.AddVertex(l)
+	}
+	for i := 1; i < len(labels); i++ {
+		g.MustAddEdge(graph.VertexID(i-1), graph.VertexID(i))
+	}
+	return g
+}
+
+func TestSessionManualOnlyMatchesEdgeAtATime(t *testing.T) {
+	target := sessPath("C", "O", "N", "C")
+	s, err := NewSession(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !s.Done() {
+		if !s.ManualStep() {
+			t.Fatal("ManualStep stalled before Done")
+		}
+	}
+	r := s.Result()
+	if r.StepP != r.StepTotal {
+		t.Errorf("manual-only session took %d steps, want steptotal %d", r.StepP, r.StepTotal)
+	}
+	if !r.Missed || r.PatternsUsed != 0 {
+		t.Errorf("manual-only result wrong: %+v", r)
+	}
+	if r.Mu() != 0 {
+		t.Errorf("manual-only mu = %v, want 0", r.Mu())
+	}
+	if s.ManualStep() {
+		t.Error("ManualStep after Done returned true")
+	}
+}
+
+func TestSessionAcceptSavesSteps(t *testing.T) {
+	target := sessPath("C", "O", "N", "C")
+	s, err := NewSession(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One manual keystroke, then accept the full target as a suggestion.
+	if !s.ManualStep() {
+		t.Fatal("manual step failed")
+	}
+	if got := s.Partial().NumEdges(); got != 1 {
+		t.Fatalf("partial after one step has %d edges", got)
+	}
+	if !s.Accept(target) {
+		t.Fatal("accepting the full target rejected")
+	}
+	if !s.Done() {
+		t.Fatal("session not done after accepting the full target")
+	}
+	r := s.Result()
+	// 3 manual steps (2 vertices + 1 edge) + 1 accept = 4 < steptotal 7.
+	if r.StepP != 4 || r.PatternsUsed != 1 || r.Missed {
+		t.Errorf("result wrong: %+v", r)
+	}
+	if r.Mu() <= 0 {
+		t.Errorf("mu = %v, want > 0", r.Mu())
+	}
+}
+
+func TestSessionAcceptRejectsNonExtendingPattern(t *testing.T) {
+	target := sessPath("C", "O", "N")
+	s, err := NewSession(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.ManualStep() { // builds C-O
+		t.Fatal("manual step failed")
+	}
+	// N-N does not embed into the target at all.
+	if s.Accept(sessPath("N", "N")) {
+		t.Error("accepted a pattern that does not embed into the target")
+	}
+	// O-N embeds, but its image cannot cover the built C-O edge.
+	if s.Accept(sessPath("O", "N")) {
+		t.Error("accepted a pattern whose image does not extend the canvas")
+	}
+	// C-O-N extends the canvas.
+	if !s.Accept(sessPath("C", "O", "N")) {
+		t.Error("rejected the extending pattern")
+	}
+	if !s.Done() {
+		t.Error("not done after accepting the full target")
+	}
+}
+
+func TestSessionPartialStaysConnectedOnPaths(t *testing.T) {
+	target := sessPath("C", "O", "N", "C", "O")
+	s, err := NewSession(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !s.Done() {
+		s.ManualStep()
+		p := s.Partial()
+		if p.NumVertices() > 0 && !p.IsConnected() {
+			t.Fatalf("partial disconnected: %d vertices, %d edges", p.NumVertices(), p.NumEdges())
+		}
+	}
+}
+
+func TestSessionRejectsEmptyTarget(t *testing.T) {
+	if _, err := NewSession(nil); err == nil {
+		t.Error("nil target accepted")
+	}
+	if _, err := NewSession(graph.New(0, 0)); err == nil {
+		t.Error("empty target accepted")
+	}
+}

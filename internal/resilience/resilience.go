@@ -356,6 +356,34 @@ func (c *Controller) BeginPhase(s pipeline.Stage) {
 	c.phaseDeadline = now.Add(c.phaseBudget)
 }
 
+// BeginSolePhase opens phase s and grants it the entire remaining soft
+// budget, regardless of the configured phase weights. It exists for
+// single-phase interactive calls — a per-keystroke suggestion ranking is
+// one phase from the controller's point of view — where the three-way
+// pipeline split would leave the phase with no budget at all (weightOf
+// returns 0 for stages outside the offline pipeline). GED downgrade
+// (gedDegraded) and Overrun work exactly as in a weighted phase.
+func (c *Controller) BeginSolePhase(s pipeline.Stage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.phase = s
+	c.phaseStart = now
+	c.phaseStatus = StatusComplete
+	c.phaseDetail = ""
+	c.phaseBudget = 0
+	c.phaseDeadline = time.Time{}
+	if c.softEnd.IsZero() {
+		return
+	}
+	remaining := c.softEnd.Sub(now)
+	if remaining < 0 {
+		remaining = 0
+	}
+	c.phaseBudget = remaining
+	c.phaseDeadline = now.Add(remaining)
+}
+
 // EndPhase closes the current phase, appending its report.
 func (c *Controller) EndPhase() {
 	c.mu.Lock()

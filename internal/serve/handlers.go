@@ -16,6 +16,7 @@ import (
 	"repro/internal/canon"
 	"repro/internal/graph"
 	"repro/internal/resilience"
+	"repro/internal/suggest"
 )
 
 // searchBudget bounds a coalesced containment evaluation: detached from the
@@ -161,6 +162,81 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	hits := v.([]int)
 	writeJSON(w, SearchResponse{Stats: snap.Stats(), Matches: len(hits), Graphs: hits})
+}
+
+// handleSuggest answers the per-keystroke autocompletion call: the body
+// is one partial query graph in transaction text format; the response is
+// the top-k canned patterns of the tenant's snapshot ranked as
+// completions, with the engine's degradation stats. Identical in-flight
+// keystrokes (same tenant, snapshot, top-k and isomorphic partial — every
+// user typing the same prefix of a popular query) coalesce into one
+// engine call, and the snapshot's verdict memo makes replays cache hits.
+// The suggestion engine degrades under its own budget instead of erroring,
+// so unlike /v1/search a slow keystroke still answers 200 with a ranked
+// prefix; only admission shedding answers 429.
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantOf(w, r)
+	if t == nil {
+		return
+	}
+	qdb, err := graph.Read(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes), "partial")
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad partial query: %v", err), http.StatusBadRequest)
+		return
+	}
+	if qdb.Len() != 1 {
+		http.Error(w, fmt.Sprintf("need exactly one partial query graph, got %d", qdb.Len()), http.StatusBadRequest)
+		return
+	}
+	q := qdb.Graph(0)
+	opts := s.opts.Suggest
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		k, err := strconv.Atoi(ks)
+		if err != nil || k <= 0 {
+			http.Error(w, fmt.Sprintf("bad k %q", ks), http.StatusBadRequest)
+			return
+		}
+		opts.TopK = k
+	}
+	snap := t.Snapshot()
+
+	// Coalescing key: endpoint + tenant + snapshot version + top-k +
+	// canonical partial form (the endpoint prefix keeps suggest and
+	// search flights for the same query graph apart).
+	key := fmt.Sprintf("suggest\x00%s\x00%d\x00%d\x00%s", t.ID(), snap.Version(), opts.TopK, canon.String(q))
+	v, err, shared := s.flight.Do(key, func() (any, error) {
+		// The outer deadline is a backstop for unbudgeted configurations;
+		// the engine's own keystroke budget fires far earlier.
+		ctx, cancel := context.WithDeadlineCause(context.WithoutCancel(r.Context()),
+			time.Now().Add(searchBudget), resilience.ErrBudgetExhausted)
+		defer cancel()
+		return snap.Suggest(ctx, q, opts)
+	})
+	if shared && s.met != nil {
+		s.met.suggestCoalesced.Inc()
+	}
+	if err != nil {
+		if errors.Is(err, resilience.ErrBudgetExhausted) {
+			s.shed(w, "suggest", err)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	res := v.(*suggest.Result)
+	if s.met != nil {
+		s.met.suggestKeystroke.Observe(res.Stats.Elapsed.Seconds())
+		s.met.suggestReturned.Observe(float64(len(res.Suggestions)))
+		if res.Stats.Degraded {
+			s.met.suggestDegraded.With(res.Stats.DegradeReason).Inc()
+		}
+	}
+	views := make([]SuggestionView, len(res.Suggestions))
+	for i, sg := range res.Suggestions {
+		views[i] = SuggestionView{Suggestion: sg, Text: snap.PatternText(sg.Pattern)}
+	}
+	w.Header().Set("X-Snapshot-Version", strconv.FormatUint(snap.Version(), 10))
+	writeJSON(w, SuggestResponse{Stats: snap.Stats(), Suggest: res.Stats, Suggestions: views})
 }
 
 // handleCoverage serves the per-pattern containment coverage of the

@@ -1,0 +1,380 @@
+// Keystroke replay: the autocompletion half of the load harness. Where
+// Run models users browsing and searching the panel, RunKeystrokes models
+// users *formulating* queries against POST /v1/suggest — each user grows a
+// target query edge by edge through a queryform.Session, posts the partial
+// canvas after every action, and accepts the top suggestion with a seeded
+// probability (biased by pattern comprehension cost, via the usersim
+// model). The harness reports per-keystroke latency percentiles and the
+// steps-saved ratio μ the accepted suggestions actually delivered — the
+// serving-layer analogue of the paper's Sec 6.1 formulation-cost measure,
+// and the workload behind the suggest bench gate.
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/queryform"
+	"repro/internal/serve"
+	"repro/internal/usersim"
+)
+
+// KeystrokeOptions configures one autocompletion replay.
+type KeystrokeOptions struct {
+	// BaseURL of the pattern service (e.g. an httptest.Server.URL).
+	BaseURL string
+	// Client to issue requests with; nil builds one like Run does.
+	Client *http.Client
+	// Users is the number of concurrent formulating users (default 4).
+	Users int
+	// Seed makes targets, accept decisions and pacing reproducible.
+	Seed int64
+	// Targets is how many queries each user formulates (default 3).
+	Targets int
+	// TopK sets the ?k= parameter per keystroke (0 = server default).
+	TopK int
+	// AcceptProb is the base probability of accepting the top suggestion
+	// (default 0.8; the usersim model biases it down for hard-to-read
+	// patterns).
+	AcceptProb float64
+	// ExtendEdges is the maximum number of extra edges grafted onto a
+	// panel pattern to form each target (default 2) — targets strictly
+	// contain panel patterns, so suggestions can genuinely save steps.
+	ExtendEdges int
+	// Tenant to address (default serve.DefaultTenant).
+	Tenant string
+	// ThinkScale multiplies the user model's comprehension time of the top
+	// suggestion between keystrokes; zero means no think time.
+	ThinkScale float64
+}
+
+// KeystrokeResult aggregates one autocompletion replay.
+type KeystrokeResult struct {
+	Users      int   `json:"users"`
+	Targets    int   `json:"targets"`    // targets completed across users
+	Keystrokes int64 `json:"keystrokes"` // /v1/suggest calls issued
+	Errors     int64 `json:"errors"`
+	Shed       int64 `json:"shed"`
+	Degraded   int64 `json:"degraded"` // responses the engine cut short in-budget
+	Accepts    int64 `json:"accepts"`  // suggestions applied to a canvas
+	TornReads  int64 `json:"torn_reads"`
+
+	// Per-keystroke latency percentiles over answered suggest calls.
+	P50 time.Duration `json:"p50_ns"`
+	P90 time.Duration `json:"p90_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	Max time.Duration `json:"max_ns"`
+
+	// Formulation-cost accounting over completed targets, in the
+	// queryform model's terms: μ = (StepTotal - StepP) / StepTotal.
+	StepTotal int     `json:"step_total"`
+	StepP     int     `json:"step_p"`
+	Mu        float64 `json:"mu"`
+
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// keystrokeStats is one user's private tally, merged after the run.
+type keystrokeStats struct {
+	targets                     int
+	keystrokes, errors, shed    int64
+	degraded, accepts, tornRead int64
+	stepTotal, stepP            int
+	latencies                   []time.Duration
+	firstErr                    error
+}
+
+// RunKeystrokes replays opts.Users formulating users against the service.
+// Like Run it returns an error only when the replay could not execute;
+// request errors land in the result for the caller to assert on.
+func RunKeystrokes(ctx context.Context, opts KeystrokeOptions) (*KeystrokeResult, error) {
+	if opts.BaseURL == "" {
+		return nil, errors.New("loadtest: BaseURL required")
+	}
+	if opts.Users <= 0 {
+		opts.Users = 4
+	}
+	if opts.Targets <= 0 {
+		opts.Targets = 3
+	}
+	if opts.AcceptProb == 0 {
+		opts.AcceptProb = 0.8
+	}
+	if opts.ExtendEdges == 0 {
+		opts.ExtendEdges = 2
+	}
+	if opts.Tenant == "" {
+		opts.Tenant = serve.DefaultTenant
+	}
+	client := opts.Client
+	if client == nil {
+		tr := &http.Transport{
+			MaxIdleConns:        opts.Users + 16,
+			MaxIdleConnsPerHost: opts.Users + 16,
+		}
+		client = &http.Client{Transport: tr, Timeout: 30 * time.Second}
+		defer tr.CloseIdleConnections()
+	}
+
+	stats := make([]keystrokeStats, opts.Users)
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Users; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			u := &keystrokeLoop{
+				client: client,
+				opts:   opts,
+				user:   usersim.NewUser(opts.Seed + int64(i)),
+				rng:    rand.New(rand.NewSource(opts.Seed ^ (int64(i)+1)*0x9e3779b9)),
+				stats:  &stats[i],
+			}
+			u.run(ctx)
+		}(i)
+	}
+	wg.Wait()
+
+	res := &KeystrokeResult{Users: opts.Users}
+	var all []time.Duration
+	for i := range stats {
+		s := &stats[i]
+		res.Targets += s.targets
+		res.Keystrokes += s.keystrokes
+		res.Errors += s.errors
+		res.Shed += s.shed
+		res.Degraded += s.degraded
+		res.Accepts += s.accepts
+		res.TornReads += s.tornRead
+		res.StepTotal += s.stepTotal
+		res.StepP += s.stepP
+		if res.FirstError == "" && s.firstErr != nil {
+			res.FirstError = s.firstErr.Error()
+		}
+		all = append(all, s.latencies...)
+	}
+	if res.StepTotal > 0 {
+		res.Mu = float64(res.StepTotal-res.StepP) / float64(res.StepTotal)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		res.P50 = percentile(all, 0.50)
+		res.P90 = percentile(all, 0.90)
+		res.P99 = percentile(all, 0.99)
+		res.Max = all[len(all)-1]
+	}
+	return res, nil
+}
+
+// keystrokeLoop is one formulating user's session state.
+type keystrokeLoop struct {
+	client *http.Client
+	opts   KeystrokeOptions
+	user   *usersim.User
+	rng    *rand.Rand
+	stats  *keystrokeStats
+}
+
+func (u *keystrokeLoop) fail(err error) {
+	u.stats.errors++
+	if u.stats.firstErr == nil {
+		u.stats.firstErr = err
+	}
+}
+
+func (u *keystrokeLoop) run(ctx context.Context) {
+	panel := u.fetchPanel(ctx)
+	if len(panel) == 0 {
+		return
+	}
+	for t := 0; t < u.opts.Targets && ctx.Err() == nil; t++ {
+		target := u.makeTarget(panel)
+		if target == nil {
+			continue
+		}
+		u.formulate(ctx, target)
+	}
+}
+
+// fetchPanel loads and parses the tenant's pattern panel once per user.
+func (u *keystrokeLoop) fetchPanel(ctx context.Context) []*graph.Graph {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		u.opts.BaseURL+"/v1/patterns?tenant="+u.opts.Tenant, nil)
+	if err != nil {
+		u.fail(err)
+		return nil
+	}
+	resp, err := u.client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			u.fail(err)
+		}
+		return nil
+	}
+	defer resp.Body.Close()
+	var pr serve.PatternsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		u.fail(fmt.Errorf("panel decode: %w", err))
+		return nil
+	}
+	panel := make([]*graph.Graph, 0, len(pr.Patterns))
+	for _, pv := range pr.Patterns {
+		gdb, err := graph.Read(strings.NewReader(pv.Text), "p")
+		if err != nil || gdb.Len() != 1 {
+			u.stats.tornRead++
+			return nil
+		}
+		panel = append(panel, gdb.Graph(0))
+	}
+	return panel
+}
+
+// makeTarget grafts up to ExtendEdges seeded extra edges onto a random
+// panel pattern: a target the pattern genuinely embeds into, so the
+// suggestion engine has real steps to save.
+func (u *keystrokeLoop) makeTarget(panel []*graph.Graph) *graph.Graph {
+	base := panel[u.rng.Intn(len(panel))]
+	if base.NumVertices() == 0 {
+		return nil
+	}
+	t := base.Clone()
+	for i := 0; i < u.rng.Intn(u.opts.ExtendEdges+1); i++ {
+		at := graph.VertexID(u.rng.Intn(t.NumVertices()))
+		label := t.Label(graph.VertexID(u.rng.Intn(t.NumVertices())))
+		nv := t.AddVertex(label)
+		t.MustAddEdge(at, nv)
+	}
+	return t
+}
+
+// formulate replays one target through a formulation session: post the
+// partial canvas after every action, accept the top suggestion with the
+// user model's seeded coin when it would make progress, fall back to a
+// manual step otherwise.
+func (u *keystrokeLoop) formulate(ctx context.Context, target *graph.Graph) {
+	sess, err := queryform.NewSession(target)
+	if err != nil {
+		u.fail(err)
+		return
+	}
+	// The keystroke cap bounds the session even if every suggestion is
+	// shed; remaining work finishes manually (and is still counted).
+	maxKeystrokes := 2 * (target.NumVertices() + target.NumEdges())
+	for k := 0; !sess.Done() && ctx.Err() == nil && k < maxKeystrokes; k++ {
+		top := u.keystroke(ctx, sess.Partial())
+		progressed := false
+		if top != nil && u.user.AcceptsSuggestion(top, u.opts.AcceptProb) {
+			progressed = sess.Accept(top)
+			if progressed {
+				u.stats.accepts++
+			}
+		}
+		if !progressed && !sess.ManualStep() {
+			break
+		}
+		u.think(ctx, top)
+	}
+	for !sess.Done() {
+		if !sess.ManualStep() {
+			break
+		}
+	}
+	r := sess.Result()
+	u.stats.targets++
+	u.stats.stepTotal += r.StepTotal
+	u.stats.stepP += r.StepP
+}
+
+// keystroke posts the partial canvas to /v1/suggest and returns the top
+// suggestion's pattern graph when one is usable (nil on shed, degradation
+// to zero suggestions, or any error — all accounted).
+func (u *keystrokeLoop) keystroke(ctx context.Context, partial *graph.Graph) *graph.Graph {
+	var body bytes.Buffer
+	if err := graph.WriteGraph(&body, partial); err != nil {
+		u.fail(err)
+		return nil
+	}
+	path := "/v1/suggest?tenant=" + u.opts.Tenant
+	if u.opts.TopK > 0 {
+		path += fmt.Sprintf("&k=%d", u.opts.TopK)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u.opts.BaseURL+path, &body)
+	if err != nil {
+		u.fail(err)
+		return nil
+	}
+	start := time.Now()
+	resp, err := u.client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			u.fail(err)
+		}
+		return nil
+	}
+	defer resp.Body.Close()
+	var sr serve.SuggestResponse
+	decodeErr := json.NewDecoder(resp.Body).Decode(&sr)
+	elapsed := time.Since(start)
+	u.stats.keystrokes++
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		u.stats.shed++
+		return nil
+	default:
+		u.fail(fmt.Errorf("suggest: status %d", resp.StatusCode))
+		return nil
+	}
+	u.stats.latencies = append(u.stats.latencies, elapsed)
+	if decodeErr != nil {
+		u.stats.tornRead++
+		return nil
+	}
+	if sr.Suggest.Degraded {
+		u.stats.degraded++
+	}
+	// Internal consistency: every suggestion must reference a pattern of
+	// the snapshot that answered, with parseable text.
+	for _, sg := range sr.Suggestions {
+		if sg.Pattern < 0 || sg.Pattern >= sr.Stats.Patterns || sg.Text == "" {
+			u.stats.tornRead++
+			return nil
+		}
+	}
+	if len(sr.Suggestions) == 0 {
+		return nil
+	}
+	gdb, err := graph.Read(strings.NewReader(sr.Suggestions[0].Text), "s")
+	if err != nil || gdb.Len() != 1 {
+		u.stats.tornRead++
+		return nil
+	}
+	top := gdb.Graph(0)
+	// A suggestion no bigger than the canvas cannot make progress; treat
+	// it as scanned-and-ignored rather than burning an Accept on it.
+	if top.NumEdges() <= partial.NumEdges() {
+		return nil
+	}
+	return top
+}
+
+// think pauses for the scaled comprehension time of the top suggestion.
+func (u *keystrokeLoop) think(ctx context.Context, top *graph.Graph) {
+	if u.opts.ThinkScale <= 0 || top == nil {
+		return
+	}
+	d := time.Duration(u.user.ComprehensionTime(top) * u.opts.ThinkScale * float64(time.Second))
+	select {
+	case <-ctx.Done():
+	case <-time.After(d):
+	}
+}

@@ -1,0 +1,121 @@
+package loadtest
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestKeystrokeReplaySavesSteps drives the autocompletion replay against a
+// real server: every keystroke must answer cleanly, and with an eager
+// accept policy the accepted suggestions must save formulation steps
+// (μ > 0) versus edge-at-a-time construction.
+func TestKeystrokeReplaySavesSteps(t *testing.T) {
+	s := serve.NewServer(serve.Options{})
+	if _, err := s.AddTenant(serve.DefaultTenant, newGrowingSource()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	res, err := RunKeystrokes(context.Background(), KeystrokeOptions{
+		BaseURL:    srv.URL,
+		Users:      4,
+		Seed:       7,
+		Targets:    3,
+		AcceptProb: 10, // overwhelm the cognitive-load bias: always accept
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("keystrokes=%d accepts=%d degraded=%d targets=%d mu=%.3f p50=%v p99=%v",
+		res.Keystrokes, res.Accepts, res.Degraded, res.Targets, res.Mu, res.P50, res.P99)
+	if res.Keystrokes == 0 {
+		t.Fatal("no keystrokes issued")
+	}
+	if res.Errors > 0 {
+		t.Errorf("%d errors (first: %s)", res.Errors, res.FirstError)
+	}
+	if res.TornReads > 0 {
+		t.Errorf("%d torn reads", res.TornReads)
+	}
+	if res.Targets != 4*3 {
+		t.Errorf("completed %d targets, want 12", res.Targets)
+	}
+	if res.Accepts == 0 {
+		t.Error("no suggestions accepted under an always-accept policy")
+	}
+	if res.Mu <= 0 {
+		t.Errorf("mu = %.3f, want > 0 (suggestions saved no steps)", res.Mu)
+	}
+	if res.StepP >= res.StepTotal {
+		t.Errorf("stepP %d >= stepTotal %d", res.StepP, res.StepTotal)
+	}
+	if res.P99 <= 0 {
+		t.Error("latency histogram empty")
+	}
+}
+
+// TestKeystrokeReplayZeroAcceptIsManualBaseline pins the degenerate
+// policy: with AcceptProb < 0 the user ignores every suggestion, so the
+// session costs exactly the edge-at-a-time baseline (μ = 0) — the control
+// arm of the steps-saved measurement.
+func TestKeystrokeReplayZeroAcceptIsManualBaseline(t *testing.T) {
+	s := serve.NewServer(serve.Options{})
+	if _, err := s.AddTenant(serve.DefaultTenant, newGrowingSource()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	res, err := RunKeystrokes(context.Background(), KeystrokeOptions{
+		BaseURL:    srv.URL,
+		Users:      2,
+		Seed:       11,
+		Targets:    2,
+		AcceptProb: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors > 0 {
+		t.Errorf("%d errors (first: %s)", res.Errors, res.FirstError)
+	}
+	if res.Accepts != 0 {
+		t.Errorf("%d accepts under a never-accept policy", res.Accepts)
+	}
+	if res.Mu != 0 || res.StepP != res.StepTotal {
+		t.Errorf("manual baseline not cost-neutral: mu=%.3f stepP=%d stepTotal=%d",
+			res.Mu, res.StepP, res.StepTotal)
+	}
+}
+
+// TestKeystrokeReplayCancelledContext: a cancelled context stops the
+// replay promptly without flagging spurious errors.
+func TestKeystrokeReplayCancelledContext(t *testing.T) {
+	s := serve.NewServer(serve.Options{})
+	if _, err := s.AddTenant(serve.DefaultTenant, newGrowingSource()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	res, err := RunKeystrokes(ctx, KeystrokeOptions{
+		BaseURL:    srv.URL,
+		Users:      2,
+		Seed:       3,
+		Targets:    1000, // far more than 50ms allows
+		ThinkScale: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors > 0 {
+		t.Errorf("cancellation accounted as errors: %d (first: %s)", res.Errors, res.FirstError)
+	}
+}

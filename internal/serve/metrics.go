@@ -16,6 +16,12 @@ type serveMetrics struct {
 	version   metrics.GaugeVec   // {tenant}
 	patterns  metrics.GaugeVec   // {tenant}
 	graphs    metrics.GaugeVec   // {tenant}
+
+	// catapult_suggest_* families: the per-keystroke autocompletion loop.
+	suggestKeystroke metrics.Histogram  // engine time per suggestion call
+	suggestDegraded  metrics.CounterVec // {reason}
+	suggestCoalesced metrics.Counter
+	suggestReturned  metrics.Histogram // suggestions per response
 }
 
 // serveBuckets spans the serving latency range: tens of microseconds for
@@ -51,7 +57,25 @@ func newServeMetrics(m *metrics.Registry) *serveMetrics {
 		graphs: m.GaugeVec("catapult_serve_snapshot_graphs",
 			"Database graphs in the snapshot currently served, per tenant.",
 			"tenant"),
+		suggestKeystroke: m.Histogram("catapult_suggest_keystroke_seconds",
+			"Autocompletion engine time per keystroke (prune, verify, rank).",
+			suggestBuckets),
+		suggestDegraded: m.CounterVec("catapult_suggest_degraded",
+			"Suggestion calls cut short by the keystroke budget, by first degradation reason.",
+			"reason"),
+		suggestCoalesced: m.Counter("catapult_suggest_coalesced_requests",
+			"Suggestion requests that piggybacked on an identical in-flight keystroke."),
+		suggestReturned: m.Histogram("catapult_suggest_suggestions",
+			"Suggestions returned per /v1/suggest response.",
+			[]float64{0, 1, 2, 3, 5, 8, 13, 21}),
 	}
+}
+
+// suggestBuckets resolves the keystroke latency range: the budget is
+// ~100ms, so the histogram needs fine resolution right around it.
+var suggestBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.075, 0.1, 0.15, 0.25, 0.5, 1,
 }
 
 // observeSnapshot updates the per-tenant snapshot gauges after a swap.

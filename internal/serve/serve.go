@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/suggest"
 )
 
 // DefaultTenant is the tenant id used when a request names none.
@@ -48,6 +49,11 @@ type Options struct {
 	Metrics *metrics.Registry
 	// MaxBodyBytes caps request bodies (default DefaultMaxBodyBytes).
 	MaxBodyBytes int64
+	// Suggest configures the POST /v1/suggest autocompletion calls: the
+	// per-keystroke budget, default top-k and candidate cap. The zero
+	// value adopts the suggest package defaults (~100ms, top 5). A
+	// request's ?k= parameter overrides TopK per call.
+	Suggest suggest.Options
 }
 
 // Server is the multi-tenant pattern service. Create with NewServer, add
@@ -81,6 +87,7 @@ func NewServer(opts Options) *Server {
 	}
 	s.mux.HandleFunc("GET /v1/patterns", s.instrument("patterns", s.handlePatterns))
 	s.mux.HandleFunc("POST /v1/search", s.instrument("search", s.handleSearch))
+	s.mux.HandleFunc("POST /v1/suggest", s.instrument("suggest", s.handleSuggest))
 	s.mux.HandleFunc("GET /v1/coverage", s.instrument("coverage", s.handleCoverage))
 	s.mux.HandleFunc("POST /v1/tenants/{id}/refresh", s.instrument("refresh", s.handleRefresh))
 	s.mux.HandleFunc("GET /v1/tenants", s.instrument("tenants", s.handleTenants))

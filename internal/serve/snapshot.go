@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cover"
 	"repro/internal/graph"
+	"repro/internal/suggest"
 )
 
 // State is the input to a snapshot build: what a pattern source (the
@@ -117,6 +118,25 @@ type RefreshResponse struct {
 	Added int   `json:"added"`
 }
 
+// SuggestionView is one ranked completion as served by POST /v1/suggest:
+// the engine's suggestion plus the pattern in transaction text format, so
+// a client can apply the completion (or post it straight to /v1/search)
+// without a second round trip to /v1/patterns.
+type SuggestionView struct {
+	suggest.Suggestion
+	Text string `json:"text"`
+}
+
+// SuggestResponse is the POST /v1/suggest payload. Suggest carries the
+// engine's per-call stats — how far the prune → verify → rank ladder got
+// under the keystroke budget — so clients and the load harness can tell a
+// full ranking from a degraded prefix.
+type SuggestResponse struct {
+	Stats       Stats            `json:"stats"`
+	Suggest     suggest.Stats    `json:"suggest"`
+	Suggestions []SuggestionView `json:"suggestions"`
+}
+
 // Snapshot is one immutable serving state: the pattern set rendered once at
 // build time, a containment engine over the database (memoized verdicts,
 // gindex pruning, parallel VF2), and the stats every response embeds.
@@ -128,6 +148,14 @@ type Snapshot struct {
 	patterns []*core.Pattern
 	db       *graph.DB
 	engine   *cover.Engine
+
+	// sugg is the autocompletion engine over this snapshot's pattern set;
+	// its containment memo warms across keystrokes, users and coalesced
+	// requests for the snapshot's lifetime. patternTexts are the
+	// pre-rendered transaction-text forms /v1/suggest embeds per
+	// suggestion.
+	sugg         *suggest.Engine
+	patternTexts []string
 
 	// patternsBody is the pre-rendered GET /v1/patterns response. Serving
 	// the hot endpoint is a single buffer write — no per-request encoding.
@@ -163,8 +191,10 @@ func BuildSnapshot(tenant string, version uint64, st State) (*Snapshot, error) {
 		patterns: st.Patterns,
 		db:       st.DB,
 		engine:   cover.New(st.DB.Graphs, cover.Options{}),
+		sugg:     suggest.NewEngine(st.Patterns),
 	}
 	views := make([]PatternView, len(st.Patterns))
+	s.patternTexts = make([]string, len(st.Patterns))
 	var buf bytes.Buffer
 	for i, p := range st.Patterns {
 		buf.Reset()
@@ -182,6 +212,7 @@ func BuildSnapshot(tenant string, version uint64, st State) (*Snapshot, error) {
 			Cog:      p.Cog,
 			Text:     buf.String(),
 		}
+		s.patternTexts[i] = views[i].Text
 	}
 	body, err := json.Marshal(PatternsResponse{Stats: s.stats, Patterns: views})
 	if err != nil {
@@ -216,6 +247,16 @@ func (s *Snapshot) Search(ctx context.Context, q *graph.Graph) ([]int, error) {
 	}
 	return hits, nil
 }
+
+// Suggest ranks the snapshot's patterns as completions of the partial
+// query q through the snapshot's memoized suggestion engine.
+func (s *Snapshot) Suggest(ctx context.Context, q *graph.Graph, opts suggest.Options) (*suggest.Result, error) {
+	return s.sugg.SuggestCtx(ctx, q, opts)
+}
+
+// PatternText returns the i-th pattern in transaction text format, as
+// pre-rendered at snapshot build time.
+func (s *Snapshot) PatternText(i int) string { return s.patternTexts[i] }
 
 // CoverageJSON returns the GET /v1/coverage body: per-pattern containment
 // counts over the snapshot's database, computed once per snapshot on first

@@ -210,20 +210,12 @@ func sortTrees(ts []*FrequentTree) {
 	})
 }
 
-// Recount recomputes every tree's support over db and drops trees below
-// minSupport. Used by the eager-sampling pipeline (Sec 4.3): trees are
-// mined on a sample at a lowered threshold low_fr, then verified against
-// the full database at the original threshold min_fr.
-//
-// Deprecated: use RecountCtx. This wrapper predates PR 1's context plumbing:
-// it runs uncancellable and reports to no pipeline trace.
-func Recount(db *graph.DB, trees []*FrequentTree, minSupport float64) []*FrequentTree {
-	out, _ := RecountCtx(context.Background(), db, trees, minSupport)
-	return out
-}
-
-// RecountCtx is Recount with cooperative cancellation, checked between
-// trees (each tree costs one VF2 containment test per database graph).
+// RecountCtx recomputes every tree's support over db and drops trees
+// below minSupport, with cooperative cancellation checked between trees
+// (each tree costs one VF2 containment test per database graph). Used by
+// the eager-sampling pipeline (Sec 4.3): trees are mined on a sample at a
+// lowered threshold low_fr, then verified against the full database at
+// the original threshold min_fr.
 func RecountCtx(ctx context.Context, db *graph.DB, trees []*FrequentTree, minSupport float64) ([]*FrequentTree, error) {
 	minCount := int(minSupport*float64(db.Len()) + 0.999999)
 	if minCount < 1 {

@@ -1,11 +1,23 @@
 package treemine
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/graph"
 	"repro/internal/subiso"
 )
+
+// recountT runs RecountCtx under a background context, failing the test
+// on error.
+func recountT(t *testing.T, db *graph.DB, trees []*FrequentTree, minSupport float64) []*FrequentTree {
+	t.Helper()
+	out, err := RecountCtx(context.Background(), db, trees, minSupport)
+	if err != nil {
+		t.Fatalf("RecountCtx: %v", err)
+	}
+	return out
+}
 
 func TestRecountVerifiesSupports(t *testing.T) {
 	db := miningDB()
@@ -16,7 +28,7 @@ func TestRecountVerifiesSupports(t *testing.T) {
 	if len(mined) == 0 {
 		t.Fatal("nothing mined from sample")
 	}
-	verified := Recount(db, mined, 0.5)
+	verified := recountT(t, db, mined, 0.5)
 	for _, ft := range verified {
 		if len(ft.Support) < 3 { // 0.5 × 6 = 3
 			t.Errorf("tree %s survived recount with support %d", ft.Canon, len(ft.Support))
@@ -37,7 +49,7 @@ func TestRecountDropsInfrequent(t *testing.T) {
 	// A tree frequent only in a sample: S-C-O path occurs in 3/6 graphs
 	// (the two stars and the C-O-S path); at min 0.9 recount drops it.
 	mined := Mine(db, MineOptions{MinSupport: 0.2, MaxEdges: 2})
-	verified := Recount(db, mined, 0.9)
+	verified := recountT(t, db, mined, 0.9)
 	for _, ft := range verified {
 		if ft.Frequency(db.Len()) < 0.9 {
 			t.Errorf("tree %s kept below threshold: %v", ft.Canon, ft.Frequency(db.Len()))
@@ -50,7 +62,7 @@ func TestRecountDropsInfrequent(t *testing.T) {
 
 func TestRecountEmpty(t *testing.T) {
 	db := miningDB()
-	if out := Recount(db, nil, 0.5); len(out) != 0 {
+	if out := recountT(t, db, nil, 0.5); len(out) != 0 {
 		t.Errorf("recount of nothing returned %d trees", len(out))
 	}
 }

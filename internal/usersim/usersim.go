@@ -108,6 +108,20 @@ func (u *User) ComprehensionTime(p *graph.Graph) float64 {
 	return base * (0.85 + 0.3*u.rng.Float64())
 }
 
+// AcceptsSuggestion simulates the accept-or-ignore decision on a
+// top-ranked autocompletion suggestion offering pattern p. baseProb is
+// the harness's configured acceptance rate; the draw is biased down by
+// the pattern's cognitive load — hard-to-read patterns get ignored more
+// often, the Exp 10 finding — and comes from the user's seeded stream so
+// replays are reproducible.
+func (u *User) AcceptsSuggestion(p *graph.Graph, baseProb float64) bool {
+	if baseProb <= 0 || p == nil {
+		return false
+	}
+	prob := baseProb / (1 + 0.15*p.CognitiveLoad())
+	return u.rng.Float64() < prob
+}
+
 // F1 is the density-based cognitive load measure (Sec 3.2).
 func F1(p *graph.Graph) float64 { return p.CognitiveLoad() }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/gindex"
 	"repro/internal/graph"
 	"repro/internal/layout"
+	"repro/internal/suggest"
 )
 
 // PatternView is the JSON projection of a selected pattern.
@@ -42,6 +43,8 @@ type Server struct {
 	DatasetName string
 	Patterns    []*core.Pattern
 	index       *gindex.Index
+	sugg        *suggest.Engine
+	suggOpts    suggest.Options
 	mux         *http.ServeMux
 }
 
@@ -52,6 +55,7 @@ func NewServer(datasetName string, patterns []*core.Pattern) *Server {
 	s.mux.HandleFunc("/pattern/", readOnly(s.handlePattern))
 	s.mux.HandleFunc("/api/patterns.json", readOnly(s.handleJSON))
 	s.mux.HandleFunc("/api/search", s.handleSearch)
+	s.mux.HandleFunc("/api/suggest", s.handleSuggest)
 	return s
 }
 
@@ -72,6 +76,15 @@ func readOnly(h http.HandlerFunc) http.HandlerFunc {
 // EnableSearch attaches a subgraph-search index so POST /api/search can
 // answer queries against the database the patterns were mined from.
 func (s *Server) EnableSearch(idx *gindex.Index) { s.index = idx }
+
+// EnableSuggest attaches an autocompletion engine so POST /api/suggest can
+// rank the panel's patterns as completions of a partial query. opts
+// configures the per-keystroke budget and defaults; the zero value adopts
+// the suggest package defaults (~100ms, top 5).
+func (s *Server) EnableSuggest(eng *suggest.Engine, opts suggest.Options) {
+	s.sugg = eng
+	s.suggOpts = opts
+}
 
 // EnableObservability mounts the operational endpoints of a long-lived
 // pattern service:
@@ -137,6 +150,8 @@ h1 { font-size: 1.3em; }
   </div>
 {{end}}
 </div>
+{{if .Suggest}}<p>Autocompletion is on: POST a partial query (transaction text
+format) to <code>/api/suggest</code> to rank these patterns as completions.</p>{{end}}
 <p><a href="/api/patterns.json">patterns.json</a></p>
 </body></html>`))
 
@@ -167,7 +182,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	err := indexTemplate.Execute(&buf, struct {
 		Dataset  string
 		Patterns []PatternView
-	}{s.DatasetName, s.views()})
+		Suggest  bool
+	}{s.DatasetName, s.views(), s.sugg != nil})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -214,12 +230,13 @@ func (s *Server) handlePattern(w http.ResponseWriter, r *http.Request) {
 // transaction text format; the response lists matching graph indices with
 // one witness embedding each.
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	if s.index == nil {
-		http.Error(w, "search not enabled", http.StatusNotImplemented)
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a query graph in transaction text format", http.StatusMethodNotAllowed)
 		return
 	}
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST a query graph in transaction text format", http.StatusMethodNotAllowed)
+	if s.index == nil {
+		http.Error(w, "search not enabled", http.StatusNotImplemented)
 		return
 	}
 	qdb, err := graph.Read(io.LimitReader(r.Body, 1<<20), "query")
@@ -248,6 +265,58 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Matches int   `json:"matches"`
 		Hits    []hit `json:"hits"`
 	}{len(hits), hits})
+}
+
+// handleSuggest answers POST /api/suggest: the body is one partial query
+// graph in transaction text format; the response ranks the panel's
+// patterns as completions under the engine's per-keystroke budget. ?k=
+// overrides the top-k per call.
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a partial query graph in transaction text format", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.sugg == nil {
+		http.Error(w, "suggest not enabled", http.StatusNotImplemented)
+		return
+	}
+	qdb, err := graph.Read(io.LimitReader(r.Body, 1<<20), "partial")
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad partial query: %v", err), http.StatusBadRequest)
+		return
+	}
+	if qdb.Len() != 1 {
+		http.Error(w, fmt.Sprintf("need exactly one partial query graph, got %d", qdb.Len()), http.StatusBadRequest)
+		return
+	}
+	opts := s.suggOpts
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		k, err := strconv.Atoi(ks)
+		if err != nil || k <= 0 {
+			http.Error(w, fmt.Sprintf("bad k %q", ks), http.StatusBadRequest)
+			return
+		}
+		opts.TopK = k
+	}
+	res, err := s.sugg.SuggestCtx(r.Context(), qdb.Graph(0), opts)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	type suggView struct {
+		suggest.Suggestion
+		Text string `json:"text"`
+	}
+	views := make([]suggView, len(res.Suggestions))
+	for i, sg := range res.Suggestions {
+		views[i] = suggView{Suggestion: sg, Text: s.sugg.Pattern(sg.Pattern).Graph.String()}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Stats       suggest.Stats `json:"suggest"`
+		Suggestions []suggView    `json:"suggestions"`
+	}{res.Stats, views})
 }
 
 func (s *Server) handleJSON(w http.ResponseWriter, r *http.Request) {

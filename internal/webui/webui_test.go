@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gindex"
 	"repro/internal/graph"
+	"repro/internal/suggest"
 )
 
 func testPatterns() []*core.Pattern {
@@ -178,6 +179,9 @@ func TestErrorPaths(t *testing.T) {
 		{"json PUT", http.MethodPut, "/api/patterns.json", "x", http.StatusMethodNotAllowed},
 		{"svg POST", http.MethodPost, "/pattern/0.svg", "x", http.StatusMethodNotAllowed},
 		{"dot POST", http.MethodPost, "/pattern/1.dot", "x", http.StatusMethodNotAllowed},
+		{"search GET", http.MethodGet, "/api/search", "", http.StatusMethodNotAllowed},
+		{"suggest GET", http.MethodGet, "/api/suggest", "", http.StatusMethodNotAllowed},
+		{"suggest DELETE", http.MethodDelete, "/api/suggest", "", http.StatusMethodNotAllowed},
 		{"dot out of range", http.MethodGet, "/pattern/2.dot", "", http.StatusNotFound},
 		{"dot negative", http.MethodGet, "/pattern/-1.dot", "", http.StatusNotFound},
 		{"dot non-numeric", http.MethodGet, "/pattern/zero.dot", "", http.StatusNotFound},
@@ -202,6 +206,67 @@ func TestErrorPaths(t *testing.T) {
 				t.Errorf("%s %s: 405 without Allow header", tc.method, tc.path)
 			}
 		})
+	}
+}
+
+// TestSuggestEndpoint exercises POST /api/suggest end to end: not-enabled
+// answers 501, a partial query ranks the containing pattern first with its
+// text attached, and bad inputs answer 400.
+func TestSuggestEndpoint(t *testing.T) {
+	s := NewServer("x", testPatterns())
+	partial := "t # 0\nv 0 C\nv 1 O\ne 0 1\n"
+
+	post := func(path, body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		return rec
+	}
+
+	if rec := post("/api/suggest", partial); rec.Code != http.StatusNotImplemented {
+		t.Fatalf("suggest before EnableSuggest: status %d, want 501", rec.Code)
+	}
+
+	s.EnableSuggest(suggest.NewEngine(s.Patterns), suggest.Options{})
+	rec := post("/api/suggest", partial)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Stats       suggest.Stats `json:"suggest"`
+		Suggestions []struct {
+			Pattern   int    `json:"pattern"`
+			Contained bool   `json:"contained"`
+			Text      string `json:"text"`
+		} `json:"suggestions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad json: %v\n%s", err, rec.Body.String())
+	}
+	if len(out.Suggestions) == 0 || out.Stats.Patterns != 2 {
+		t.Fatalf("payload wrong: %+v", out)
+	}
+	// The C-O-N pattern contains the C-O partial; the C-triangle does not.
+	if out.Suggestions[0].Pattern != 0 || !out.Suggestions[0].Contained {
+		t.Errorf("top suggestion wrong: %+v", out.Suggestions[0])
+	}
+	if out.Suggestions[0].Text == "" {
+		t.Error("suggestion missing pattern text")
+	}
+
+	// Index page advertises the endpoint once enabled.
+	if body := get(t, s, "/").Body.String(); !strings.Contains(body, "/api/suggest") {
+		t.Error("index page does not mention /api/suggest after EnableSuggest")
+	}
+
+	if rec := post("/api/suggest", "garbage"); rec.Code != http.StatusBadRequest {
+		t.Errorf("garbage body: status %d", rec.Code)
+	}
+	if rec := post("/api/suggest?k=bad", partial); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad k: status %d", rec.Code)
+	}
+	if rec := post("/api/suggest?k=1", partial); rec.Code != http.StatusOK {
+		t.Errorf("k=1: status %d", rec.Code)
 	}
 }
 

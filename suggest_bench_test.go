@@ -1,0 +1,115 @@
+// The autocompletion bench gate behind `make bench-gate-suggest`: a
+// maintainer over the quickstart dataset (200 molecule-like graphs, budget
+// b = (3, 8, 10)) is put behind the pattern service, and a fleet of seeded
+// simulated users formulates target queries keystroke by keystroke against
+// POST /v1/suggest — accepting suggested patterns when the user model says
+// so, drawing edges manually otherwise. The gate writes BENCH_suggest.json
+// and fails when the per-keystroke p99 exceeds the interactive budget
+// (~100ms, the engine's anytime deadline), when the replayed users save no
+// formulation steps (μ must be positive — autocompletion that never helps
+// is a correctness failure of the ranking, not a tuning matter), or when
+// any response errors or is internally inconsistent. Opt-in via
+// BENCH_GATE_SUGGEST=1 so regular `go test ./...` stays fast.
+package catapult_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	catapult "repro"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/serve"
+	"repro/internal/serve/loadtest"
+)
+
+// Gate thresholds: every keystroke must answer inside the engine's anytime
+// budget (the service degrades rather than blocks, so a p99 above the
+// budget means the ladder is broken), and the replay must save steps.
+const (
+	suggestGateMaxP99 = 100 * time.Millisecond
+	suggestGateUsers  = 8
+)
+
+func TestSuggestBenchGate(t *testing.T) {
+	if os.Getenv("BENCH_GATE_SUGGEST") == "" {
+		t.Skip("set BENCH_GATE_SUGGEST=1 to run the autocompletion benchmark gate")
+	}
+
+	// The quickstart workload: examples/quickstart's database and budget.
+	db := dataset.AIDSLike(200, 1)
+	m, err := catapult.NewMaintainerCtx(context.Background(), db, catapult.Config{
+		Budget:     core.Budget{EtaMin: 3, EtaMax: 8, Gamma: 10},
+		Clustering: cluster.Config{Strategy: cluster.HybridMCCS, N: 20, MinSupport: 0.1},
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := catapult.NewPatternServer(catapult.PatternServerOptions{})
+	if _, err := s.AddTenant(serve.DefaultTenant, m.ServeSource()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	users := serveBenchEnvInt("SUGGEST_BENCH_USERS", suggestGateUsers)
+	targets := serveBenchEnvInt("SUGGEST_BENCH_TARGETS", 4)
+
+	res, err := loadtest.RunKeystrokes(context.Background(), loadtest.KeystrokeOptions{
+		BaseURL: srv.URL,
+		Users:   users,
+		Seed:    42,
+		Targets: targets,
+		// A strongly accepting fleet: the gate measures whether ranked
+		// suggestions, when taken, actually shorten formulation — not how
+		// often the cognitive-load model declines them.
+		AcceptProb:  2,
+		ExtendEdges: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	report := struct {
+		*loadtest.KeystrokeResult
+		GateMaxP99Ms float64 `json:"gate_max_p99_ms"`
+		GateMinMu    float64 `json:"gate_min_mu"`
+		Dataset      string  `json:"dataset"`
+		Patterns     int     `json:"patterns"`
+	}{res, float64(suggestGateMaxP99.Milliseconds()), 0, db.Name, len(m.Patterns())}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile("BENCH_suggest.json", buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("suggest gate: %d users, %d targets, %d keystrokes, p50=%v p90=%v p99=%v, accepts=%d, degraded=%d, mu=%.3f\n",
+		res.Users, res.Targets, res.Keystrokes, res.P50, res.P90, res.P99,
+		res.Accepts, res.Degraded, res.Mu)
+
+	if res.Errors > 0 {
+		t.Errorf("%d request errors (first: %s)", res.Errors, res.FirstError)
+	}
+	if res.TornReads > 0 {
+		t.Errorf("%d internally inconsistent suggest responses", res.TornReads)
+	}
+	if res.Keystrokes == 0 {
+		t.Fatal("replay issued no keystrokes")
+	}
+	if res.P99 > suggestGateMaxP99 {
+		t.Errorf("per-keystroke p99 %v above the %v gate", res.P99, suggestGateMaxP99)
+	}
+	if res.Mu <= 0 {
+		t.Errorf("steps saved μ = %.3f; suggestions must shorten formulation (StepP=%d StepTotal=%d accepts=%d)",
+			res.Mu, res.StepP, res.StepTotal, res.Accepts)
+	}
+}

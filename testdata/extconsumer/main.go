@@ -77,6 +77,35 @@ func main() {
 		fmt.Println(res.Degraded(), len(reports), len(faults))
 	}
 
+	// Per-keystroke autocompletion against the selected pattern set:
+	// the Suggester surface plus the one-shot SuggestCtx convenience,
+	// consumed entirely through catapult.* names.
+	var eng *catapult.Suggester = catapult.NewSuggester(res.Patterns)
+	sopts := catapult.SuggestOptions{TopK: 3, Budget: 50 * time.Millisecond}
+	partial := catapult.NewGraph(2, 1)
+	pu, pv := partial.AddVertex("C"), partial.AddVertex("N")
+	_ = partial.AddEdge(pu, pv)
+	var sres *catapult.SuggestResult
+	sres, err = eng.SuggestCtx(context.Background(), partial, sopts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var sstats catapult.SuggestStats = sres.Stats
+	fmt.Println(sstats.Patterns, sstats.Candidates, sstats.Degraded, eng.NumPatterns())
+	for _, s := range sres.Suggestions {
+		var sg catapult.Suggestion = s
+		fmt.Println(sg.Pattern, sg.Contained, sg.Distance, sg.Rank)
+	}
+	if sres2, err := catapult.SuggestCtx(context.Background(), res, partial, sopts); err == nil {
+		fmt.Println(len(sres2.Suggestions))
+	}
+	// The HTTP response shape of POST /v1/suggest stays decodable too.
+	var sresp catapult.ServeSuggestResponse
+	var sview catapult.ServeSuggestionView
+	_ = sresp
+	_ = sview
+
 	// Incremental maintenance plus operational gauges.
 	mt, err := catapult.NewMaintainerCtx(context.Background(), db, cfg)
 	if err != nil {
